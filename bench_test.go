@@ -1,0 +1,235 @@
+// Benchmarks regenerating the paper's evaluation. Each figure/table in
+// DESIGN.md's experiment index has a Benchmark* here that drives the same
+// harness functions as `jashbench`; b.ReportMetric attaches the modelled
+// seconds (the figure's y-axis) to the benchmark output, while the Go
+// benchmark time measures the real cost of running the experiment.
+//
+// Component micro-benchmarks (parser, expander, executor, coreutils)
+// follow, sized so `go test -bench=. -benchmem` completes in minutes.
+package jash
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"jash/internal/bench"
+	"jash/internal/core"
+	"jash/internal/cost"
+	"jash/internal/dfg"
+	"jash/internal/exec"
+	"jash/internal/rewrite"
+	"jash/internal/syntax"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// reportRows runs one experiment per benchmark iteration and publishes
+// each row's primary metric.
+func reportRows(b *testing.B, run func() ([]bench.Row, error)) {
+	b.Helper()
+	var rows []bench.Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		name := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(r.Config + "/" + r.System)
+		b.ReportMetric(r.Seconds, name+"_s")
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1: bash vs PaSh vs Jash on the
+// Standard (gp2) and IO-opt (gp3) volumes, word-sorting at 3 GB model
+// scale with 1 MiB execution validation.
+func BenchmarkFig1(b *testing.B) {
+	reportRows(b, func() ([]bench.Row, error) { return bench.Fig1(1 << 20) })
+}
+
+// BenchmarkTemperature regenerates the §2.1 comparison.
+func BenchmarkTemperature(b *testing.B) {
+	reportRows(b, func() ([]bench.Row, error) { return bench.Temperature(50_000) })
+}
+
+// BenchmarkSpell regenerates the §3.2 spell-script experiment.
+func BenchmarkSpell(b *testing.B) {
+	reportRows(b, func() ([]bench.Row, error) { return bench.Spell(1 << 20) })
+}
+
+// BenchmarkNoRegression regenerates the no-regression sweep.
+func BenchmarkNoRegression(b *testing.B) {
+	reportRows(b, bench.NoRegression)
+}
+
+// BenchmarkScalingWidth regenerates the parallelism-width sweep.
+func BenchmarkScalingWidth(b *testing.B) {
+	reportRows(b, bench.ScalingWidth)
+}
+
+// BenchmarkIncremental regenerates the incremental-computation experiment.
+func BenchmarkIncremental(b *testing.B) {
+	reportRows(b, func() ([]bench.Row, error) { return bench.Incremental(1 << 20) })
+}
+
+// BenchmarkDistribution regenerates the distribution experiment.
+func BenchmarkDistribution(b *testing.B) {
+	reportRows(b, func() ([]bench.Row, error) { return bench.Distribution(1 << 20) })
+}
+
+// BenchmarkJITOverhead regenerates the per-command planning-latency
+// experiment.
+func BenchmarkJITOverhead(b *testing.B) {
+	reportRows(b, func() ([]bench.Row, error) { return bench.JITOverhead(50) })
+}
+
+// --- component micro-benchmarks ---
+
+var benchScript = `DICT=/usr/dict
+FILES="/doc1 /doc2"
+if test -f $DICT; then
+  cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 $DICT - >/misspelled
+fi
+for f in $FILES; do wc -l <$f >>counts; done
+`
+
+// BenchmarkParse measures the parser on a representative script.
+func BenchmarkParse(b *testing.B) {
+	b.SetBytes(int64(len(benchScript)))
+	for i := 0; i < b.N; i++ {
+		if _, err := syntax.Parse(benchScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParsePrintRoundTrip measures parse + unparse (the libdash
+// round trip the JIT performs per command).
+func BenchmarkParsePrintRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := syntax.Parse(benchScript)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = syntax.Print(s)
+	}
+}
+
+// BenchmarkInterpPipeline measures interpreting a 4-stage pipeline over
+// 256 KiB through the evaluator and hermetic coreutils.
+func BenchmarkInterpPipeline(b *testing.B) {
+	data := workload.Words(1, 256<<10)
+	fs := vfs.New()
+	fs.WriteFile("/w", data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh := core.New(fs, cost.Laptop(), core.ModeBash)
+		sh.Interp.Stdout = &bytes.Buffer{}
+		if st, err := sh.Run("cat /w | tr A-Z a-z | sort | uniq -c >/dev/null\n"); err != nil || st != 0 {
+			b.Fatalf("st=%d err=%v", st, err)
+		}
+	}
+}
+
+// BenchmarkExecSequentialVsParallel compares the dataflow executor's real
+// wall time for the fig1 plan at widths 1..8 on 1 MiB (in-process lanes
+// parallelize across real cores).
+func BenchmarkExecSequentialVsParallel(b *testing.B) {
+	data := workload.Words(1, 1<<20)
+	fs := vfs.New()
+	fs.WriteFile("/w", data)
+	g, err := dfg.FromPipeline([][]string{
+		{"tr", "A-Z", "a-z"},
+		{"tr", "-cs", "A-Za-z", `\n`},
+		{"sort"},
+	}, Specs(), dfg.Binding{StdinFile: "/w"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, width := range []int{1, 2, 4, 8} {
+		plan := g
+		if width > 1 {
+			plan, err = rewrite.Parallelize(g, rewrite.Options{Width: width})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				st, err := exec.Run(plan, &exec.Env{
+					FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+					Stdout: &bytes.Buffer{}, Stderr: &bytes.Buffer{},
+				})
+				if err != nil || st != 0 {
+					b.Fatalf("st=%d err=%v", st, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCostEstimate measures one plan estimation — the inner loop of
+// every JIT decision.
+func BenchmarkCostEstimate(b *testing.B) {
+	g, err := dfg.FromPipeline([][]string{
+		{"tr", "A-Z", "a-z"}, {"sort"},
+	}, Specs(), dfg.Binding{StdinFile: "/w"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := cost.StandardEC2()
+	in := cost.Inputs{Size: func(string) int64 { return 3 << 30 }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.EstimateGraph(g, in, prof, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJashPlan measures the full width-search planning step.
+func BenchmarkJashPlan(b *testing.B) {
+	g, err := dfg.FromPipeline([][]string{
+		{"cat"}, {"tr", "A-Z", "a-z"}, {"tr", "-cs", "A-Za-z", `\n`}, {"sort"},
+	}, Specs(), dfg.Binding{StdinFile: "/w"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := cost.Inputs{Size: func(string) int64 { return 3 << 30 }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rewrite.JashPlan(g, in, cost.StandardEC2()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreutilsSort measures the in-process sort on 1 MiB.
+func BenchmarkCoreutilsSort(b *testing.B) {
+	data := workload.Words(1, 1<<20)
+	fs := vfs.New()
+	fs.WriteFile("/w", data)
+	sh := core.New(fs, cost.Laptop(), core.ModeBash)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh.Interp.Stdout = &bytes.Buffer{}
+		if st, _ := sh.Run("sort /w >/dev/null\n"); st != 0 {
+			b.Fatal("sort failed")
+		}
+	}
+}
+
+// BenchmarkLint measures linting throughput.
+func BenchmarkLint(b *testing.B) {
+	src := strings.Repeat(benchScript, 10)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Lint(src)
+	}
+}

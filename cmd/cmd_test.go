@@ -1,0 +1,194 @@
+// Package cmd_test builds the real binaries once and exercises them
+// end-to-end: flags, exit statuses, and output formats — the layer unit
+// tests cannot reach.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "jash-bins")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, name := range []string{"jash", "jashc", "jashlint", "jashexplain", "jashinfer", "jashbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./"+name)
+		cmd.Dir = mustSelfDir()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(name + ": " + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// mustSelfDir returns the cmd/ directory this test file lives in.
+func mustSelfDir() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return wd
+}
+
+func runBin(t *testing.T, name string, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	cmd.Stdin = strings.NewReader(stdin)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestJashScript(t *testing.T) {
+	out, errs, code := runBin(t, "jash", "", "-c", "echo hello | tr a-z A-Z")
+	if code != 0 || out != "HELLO\n" {
+		t.Errorf("out=%q errs=%q code=%d", out, errs, code)
+	}
+}
+
+func TestJashExitStatusPropagates(t *testing.T) {
+	_, _, code := runBin(t, "jash", "", "-c", "exit 7")
+	if code != 7 {
+		t.Errorf("code=%d, want 7", code)
+	}
+}
+
+func TestJashWordsAndStats(t *testing.T) {
+	out, errs, code := runBin(t, "jash", "",
+		"-words", "/d=200000", "-stats", "-profile", "ioopt",
+		"-c", "cat /d | tr A-Z a-z | sort | head -n1 >/dev/null")
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	if out != "" {
+		t.Errorf("stdout=%q", out)
+	}
+	if !strings.Contains(errs, "optimized") {
+		t.Errorf("stats missing: %q", errs)
+	}
+}
+
+func TestJashModesFlag(t *testing.T) {
+	for _, mode := range []string{"bash", "pash", "jash"} {
+		out, _, code := runBin(t, "jash", "", "-mode", mode, "-c", "echo "+mode)
+		if code != 0 || out != mode+"\n" {
+			t.Errorf("mode %s: out=%q code=%d", mode, out, code)
+		}
+	}
+	_, errs, code := runBin(t, "jash", "", "-mode", "zsh", "-c", "echo x")
+	if code != 2 || !strings.Contains(errs, "unknown mode") {
+		t.Errorf("bad mode: code=%d errs=%q", code, errs)
+	}
+}
+
+func TestJashInteractive(t *testing.T) {
+	out, _, code := runBin(t, "jash", "X=9\necho got $X\nexit 4\n", "-i")
+	if code != 4 || out != "got 9\n" {
+		t.Errorf("repl: out=%q code=%d", out, code)
+	}
+}
+
+func TestJashStdinScript(t *testing.T) {
+	out, _, code := runBin(t, "jash", "echo from-stdin\n")
+	if code != 0 || out != "from-stdin\n" {
+		t.Errorf("out=%q code=%d", out, code)
+	}
+}
+
+func TestJashc(t *testing.T) {
+	out, errs, code := runBin(t, "jashc", "", "-c", "cat /in | tr A-Z a-z | sort", "-size", "3221225472", "-profile", "standard")
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	for _, want := range []string{"plan:", "estimate", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("jashc missing %q: %q", want, out)
+		}
+	}
+	out, _, _ = runBin(t, "jashc", "", "-c", "cat /in | sort", "-plan", "pash", "-format", "dot")
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "buffered") {
+		t.Errorf("dot output: %q", out)
+	}
+	out, _, _ = runBin(t, "jashc", "", "-c", "cat /in | sort", "-format", "json", "-size", "99999999999")
+	if !strings.Contains(out, `"nodes"`) {
+		t.Errorf("json output: %q", out)
+	}
+}
+
+func TestJashlint(t *testing.T) {
+	out, _, code := runBin(t, "jashlint", "rm -rf $X\n")
+	if code != 1 || !strings.Contains(out, "JSH201") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	_, _, code = runBin(t, "jashlint", "echo clean\n")
+	if code != 0 {
+		t.Errorf("clean script code=%d", code)
+	}
+	out, _, _ = runBin(t, "jashlint", "read x\n", "-severity", "warning")
+	if strings.Contains(out, "JSH206") {
+		t.Errorf("severity filter leaked info finding: %q", out)
+	}
+}
+
+func TestJashexplain(t *testing.T) {
+	out, _, code := runBin(t, "jashexplain", "", "grep -v 999 | sort -rn | head -n1")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	for _, want := range []string{"stateless", "parallelizable", "blocking", "invert match"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q in %q", want, out)
+		}
+	}
+	out, _, code = runBin(t, "jashexplain", "", "-tutor", "sort")
+	if code != 0 || !strings.Contains(out, "merge-sort") {
+		t.Errorf("tutor: code=%d out=%q", code, out)
+	}
+}
+
+func TestJashinfer(t *testing.T) {
+	out, _, code := runBin(t, "jashinfer", "", "sort", "-rn")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "class=parallelizable") || !strings.Contains(out, "AGREES") {
+		t.Errorf("infer out=%q", out)
+	}
+}
+
+func TestJashbenchFig1(t *testing.T) {
+	out, errs, code := runBin(t, "jashbench", "", "fig1")
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	for _, want := range []string{"Standard (gp2)", "IO-opt (gp3)", "bash", "pash", "jash"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJashbenchUnknown(t *testing.T) {
+	_, errs, code := runBin(t, "jashbench", "", "nonsense")
+	if code != 2 || !strings.Contains(errs, "unknown experiment") {
+		t.Errorf("code=%d errs=%q", code, errs)
+	}
+}

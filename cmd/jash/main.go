@@ -1,0 +1,209 @@
+// Command jash is the Jash shell: a POSIX shell interpreter with a JIT,
+// resource-aware pipeline optimizer. Scripts run over a hermetic virtual
+// filesystem; host files can be imported with -import, and synthetic
+// corpora generated with -words. The -mode flag switches between plain
+// interpretation (bash), the ahead-of-time PaSh strategy, and the full
+// Jash JIT; -trace logs every optimization decision.
+//
+// Usage:
+//
+//	jash [-mode bash|pash|jash] [-profile laptop|standard|ioopt]
+//	     [-import host.txt=/vfs/path]... [-words /vfs/path=SIZE]
+//	     [-trace] [-stats] (-c 'script' | script.sh)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"jash/internal/core"
+	"jash/internal/cost"
+	"jash/internal/syntax"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		mode        = flag.String("mode", "jash", "optimization mode: bash, pash, or jash")
+		profile     = flag.String("profile", "laptop", "resource profile: laptop, standard (gp2), or ioopt (gp3)")
+		command     = flag.String("c", "", "run this script text instead of a file")
+		trace       = flag.Bool("trace", false, "log JIT decisions to stderr")
+		stats       = flag.Bool("stats", false, "print session statistics on exit")
+		increm      = flag.Bool("incremental", false, "memoize dataflow regions across re-runs")
+		interactive = flag.Bool("i", false, "interactive: read commands line by line with a prompt")
+		imports     multiFlag
+		words       multiFlag
+	)
+	flag.Var(&imports, "import", "copy a host file into the VFS: host.txt=/vfs/path (repeatable)")
+	flag.Var(&words, "words", "generate word data in the VFS: /vfs/path=BYTES (repeatable)")
+	flag.Parse()
+
+	fs := vfs.New()
+	for _, im := range imports {
+		host, dest, ok := strings.Cut(im, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "jash: bad -import %q (want host=/vfs/path)\n", im)
+			return 2
+		}
+		data, err := os.ReadFile(host)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+			return 2
+		}
+		if err := fs.WriteFile(dest, data); err != nil {
+			fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+			return 2
+		}
+	}
+	for _, w := range words {
+		dest, size, ok := strings.Cut(w, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "jash: bad -words %q (want /vfs/path=BYTES)\n", w)
+			return 2
+		}
+		n, err := strconv.Atoi(size)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "jash: bad -words size %q\n", size)
+			return 2
+		}
+		fs.WriteFile(dest, workload.Words(1, n))
+	}
+
+	var prof *cost.Profile
+	switch *profile {
+	case "laptop":
+		prof = cost.Laptop()
+	case "standard":
+		prof = cost.StandardEC2()
+	case "ioopt":
+		prof = cost.IOOptEC2()
+	default:
+		fmt.Fprintf(os.Stderr, "jash: unknown profile %q\n", *profile)
+		return 2
+	}
+	var m core.Mode
+	switch *mode {
+	case "bash":
+		m = core.ModeBash
+	case "pash":
+		m = core.ModePaSh
+	case "jash":
+		m = core.ModeJash
+	default:
+		fmt.Fprintf(os.Stderr, "jash: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	if *interactive {
+		sh := core.New(fs, prof, m)
+		sh.Interp.Stdin = strings.NewReader("")
+		sh.Interp.Stdout = os.Stdout
+		sh.Interp.Stderr = os.Stderr
+		if *trace {
+			sh.Trace = os.Stderr
+		}
+		if *increm {
+			sh.EnableIncremental()
+		}
+		return repl(sh)
+	}
+
+	var src string
+	switch {
+	case *command != "":
+		src = *command
+	case flag.NArg() >= 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+			return 2
+		}
+		src = string(data)
+	default:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+			return 2
+		}
+		src = string(data)
+	}
+
+	sh := core.New(fs, prof, m)
+	sh.Interp.Stdin = strings.NewReader("")
+	sh.Interp.Stdout = os.Stdout
+	sh.Interp.Stderr = os.Stderr
+	if *trace {
+		sh.Trace = os.Stderr
+	}
+	if *increm {
+		sh.EnableIncremental()
+	}
+	status, err := sh.Run(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+		if status == 0 {
+			status = 2
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "jash: %d pipeline(s) optimized, %d interpreted, %.3fs modelled time\n",
+			sh.Stats.Optimized, sh.Stats.Interpreted, sh.Stats.VirtualSeconds)
+		for _, d := range sh.Stats.Decisions {
+			fmt.Fprintf(os.Stderr, "  %-40s %-13s width=%d est=%.3fs\n",
+				d.Pipeline, d.Strategy, d.Width, d.EstimatedSeconds)
+		}
+	}
+	return status
+}
+
+// repl runs the line-oriented interactive loop: the same JIT architecture
+// serves "both programmatic and interactive contexts" (§3.2). Input lines
+// accumulate until they parse as a complete command (so multi-line
+// if/for/heredocs work), then run with full shell state.
+func repl(sh *core.Shell) int {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := "jash$ "
+	fmt.Fprint(os.Stderr, prompt)
+	for scanner.Scan() {
+		pending.WriteString(scanner.Text())
+		pending.WriteByte('\n')
+		src := pending.String()
+		if _, _, err := syntax.ParseCommand(src); err != nil {
+			// Incomplete construct (unterminated quote/if/heredoc): keep
+			// reading continuation lines.
+			fmt.Fprint(os.Stderr, "> ")
+			continue
+		}
+		pending.Reset()
+		status, err := sh.Run(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+		}
+		if sh.Interp.Exited {
+			return status
+		}
+		if status != 0 {
+			fmt.Fprintf(os.Stderr, "[status %d]\n", status)
+		}
+		fmt.Fprint(os.Stderr, prompt)
+	}
+	fmt.Fprintln(os.Stderr)
+	return sh.Interp.Status
+}

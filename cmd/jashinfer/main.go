@@ -1,0 +1,47 @@
+// Command jashinfer learns a command's dataflow specification by
+// black-box testing (§4 "Heuristic support"): it runs the command on
+// generated corpora, checks which algebraic laws hold, and prints the
+// inferred class with its evidence — a formal, machine-generated man page
+// fragment.
+//
+// Usage:
+//
+//	jashinfer sort -rn
+//	jashinfer awk '{print $1}'
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"jash/internal/infer"
+	"jash/internal/spec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: jashinfer COMMAND [ARGS...]")
+		os.Exit(2)
+	}
+	argv := os.Args[1:]
+	res, err := infer.Infer(argv, infer.DefaultOptions())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jashinfer: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("command:  %s\n", strings.Join(argv, " "))
+	fmt.Printf("inferred: class=%s aggregator=%s deterministic=%v\n", res.Class, res.Agg, res.Deterministic)
+	fmt.Println("evidence:")
+	for _, e := range res.Evidence {
+		fmt.Printf("  %s\n", e)
+	}
+	if want, ok := spec.Builtin().Lookup(argv[0]); ok {
+		eff := spec.Builtin().Resolve(argv)
+		agree := "AGREES with"
+		if eff.Class != res.Class {
+			agree = "DISAGREES with"
+		}
+		fmt.Printf("hand-written spec (v%s): class=%s — inference %s it\n", want.Version, eff.Class, agree)
+	}
+}

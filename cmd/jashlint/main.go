@@ -1,0 +1,67 @@
+// Command jashlint is the ShellCheck-style linter built on the syntax
+// package's ASTs and the PaSh-style specification library (§4 "Heuristic
+// support"). It reads scripts from files or stdin and prints findings
+// with positions, codes, severities, and fix suggestions. Exit status: 0
+// clean, 1 findings, 2 usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jash/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	minSeverity := flag.String("severity", "info", "minimum severity to report: info, warning, error")
+	flag.Parse()
+	var min lint.Severity
+	switch *minSeverity {
+	case "info":
+		min = lint.Info
+	case "warning":
+		min = lint.Warning
+	case "error":
+		min = lint.Error
+	default:
+		fmt.Fprintf(os.Stderr, "jashlint: unknown severity %q\n", *minSeverity)
+		return 2
+	}
+	l := lint.New()
+	found := false
+	lintOne := func(name, src string) {
+		for _, f := range l.LintSource(src) {
+			if f.Severity < min {
+				continue
+			}
+			found = true
+			fmt.Printf("%s:%s\n", name, f)
+		}
+	}
+	if flag.NArg() == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jashlint: %v\n", err)
+			return 2
+		}
+		lintOne("<stdin>", string(data))
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jashlint: %v\n", err)
+			return 2
+		}
+		lintOne(path, string(data))
+	}
+	if found {
+		return 1
+	}
+	return 0
+}

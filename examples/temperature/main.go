@@ -1,0 +1,53 @@
+// Temperature: the paper's §2.1 example — "over 100 lines of Java ...
+// can be translated to a 48-character four-stage pipeline of comparable
+// performance". We generate NCDC-style fixed-width weather records, find
+// the maximum reading with (a) a purpose-built Go function and (b) the
+// paper's pipeline, and check they agree.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"jash"
+	"jash/internal/workload"
+)
+
+const pipeline = `cut -c 89-92 | grep -v 999 | sort -rn | head -n1`
+
+func main() {
+	records := workload.TemperatureRecords(42, 200_000)
+	fmt.Printf("dataset: %d records, %d bytes\n", 200_000, len(records))
+
+	// The "100 lines of Java" side: a purpose-built scan.
+	start := time.Now()
+	oracle, ok := workload.MaxTemperature(records)
+	nativeTime := time.Since(start)
+	if !ok {
+		log.Fatal("no valid readings")
+	}
+
+	// The 48-character pipeline.
+	fs := jash.NewFS()
+	fs.WriteFile("/ncdc/records.txt", records)
+	sh := jash.NewShell(fs, jash.LaptopProfile(), jash.ModeJash)
+	var out bytes.Buffer
+	sh.Interp.Stdout = &out
+	start = time.Now()
+	status, err := sh.Run("cat /ncdc/records.txt | " + pipeline + "\n")
+	pipeTime := time.Since(start)
+	if err != nil || status != 0 {
+		log.Fatalf("pipeline failed: status %d, err %v", status, err)
+	}
+	answer := strings.TrimSpace(out.String())
+
+	fmt.Printf("native Go scan:       max=%s in %v\n", oracle, nativeTime)
+	fmt.Printf("%d-char pipeline:     max=%s in %v\n", len(pipeline), answer, pipeTime)
+	if answer != oracle {
+		log.Fatalf("DISAGREE: pipeline %q vs native %q", answer, oracle)
+	}
+	fmt.Println("answers agree ✓")
+}

@@ -1,0 +1,3 @@
+module jash
+
+go 1.22

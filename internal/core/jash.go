@@ -1,0 +1,407 @@
+// Package core implements Jash ("Just a shell"), the paper's proposed
+// system (E3): a dynamically-triggered, resource-aware optimization regime
+// for the POSIX shell.
+//
+// Jash is line-oriented: it consumes one complete command at a time,
+// interpreting everything through the Smoosh-style evaluator (package
+// interp) and interposing on pipelines just before they run. At that
+// moment — and only then — the shell's dynamic state is concrete:
+// variables have values, globs have matches, input files have sizes, and
+// the storage layer has a live burst-credit balance. The JIT
+//
+//  1. checks that every word in the pipeline is *safe to expand early*
+//     (package expand's symbolic analysis: no command substitutions, no
+//     ${x=w}/${x?w}, no arithmetic assignment),
+//  2. expands the words with the interpreter's own expander,
+//  3. translates the pipeline to a dataflow graph against the PaSh-style
+//     specification library,
+//  4. probes the filesystem for input sizes and devices,
+//  5. asks the cost-budgeted rewriter for a plan (with the paper's
+//     no-regression rule), and
+//  6. executes the chosen graph on the dataflow executor, or falls back
+//     to plain interpretation when any step declines.
+//
+// Anything dynamic, side-effectful, or unknown simply interprets — Jash
+// is sound by construction, never by assumption.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"jash/internal/cost"
+	"jash/internal/dfg"
+	"jash/internal/exec"
+	"jash/internal/expand"
+	"jash/internal/incr"
+	"jash/internal/interp"
+	"jash/internal/rewrite"
+	"jash/internal/spec"
+	"jash/internal/syntax"
+	"jash/internal/vfs"
+)
+
+// Mode selects the optimization strategy, matching Figure 1's systems.
+type Mode int
+
+const (
+	// ModeBash never optimizes: plain interpretation.
+	ModeBash Mode = iota
+	// ModePaSh applies the ahead-of-time PaSh plan (full width, buffered
+	// staging, resource-oblivious) to every eligible pipeline.
+	ModePaSh
+	// ModeJash applies the JIT, resource-aware, cost-budgeted plan.
+	ModeJash
+)
+
+var modeNames = [...]string{"bash", "pash", "jash"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// Decision records one interposition outcome, for telemetry, tests, and
+// the benchmark harness.
+type Decision struct {
+	Pipeline string // the pipeline as the user wrote it (unparsed)
+	Strategy string // "interpret", "sequential-df", "parallel-df"
+	Width    int
+	Reason   string
+	// EstimatedSeconds is the cost model's prediction for the chosen
+	// plan; SequentialSeconds for the unoptimized graph. Zero when the
+	// pipeline was interpreted without estimation.
+	EstimatedSeconds   float64
+	SequentialSeconds  float64
+	PlanningWall       time.Duration // real time spent deciding (JIT overhead)
+	InputBytes         int64
+	BurstCreditsBefore float64
+}
+
+// Stats accumulates a session's decisions and modelled execution time.
+type Stats struct {
+	Decisions []Decision
+	// VirtualSeconds is the cost model's predicted wall time for the
+	// session's dataflow work — the number the Figure 1 harness reports.
+	VirtualSeconds float64
+	Optimized      int
+	Interpreted    int
+}
+
+// Shell is a Jash session.
+type Shell struct {
+	FS      *vfs.FS
+	Interp  *interp.Interp
+	Lib     *spec.Library
+	Profile *cost.Profile
+	Mode    Mode
+	// Trace, when non-nil, receives one line per JIT decision.
+	Trace io.Writer
+	// Incremental, when non-nil, routes stdout-bound dataflow regions
+	// through the memoizing runner (§4's incremental computation built on
+	// the JIT's up-to-date knowledge of input state). Enable with
+	// EnableIncremental.
+	Incremental *incr.Runner
+
+	Stats Stats
+}
+
+// EnableIncremental attaches a fresh incremental cache to the session.
+func (s *Shell) EnableIncremental() *incr.Runner {
+	s.Incremental = incr.NewRunner()
+	return s.Incremental
+}
+
+// New creates a shell over the filesystem with the given resource profile
+// and mode. Standard streams default to discard; set them on Interp.
+func New(fs *vfs.FS, profile *cost.Profile, mode Mode) *Shell {
+	s := &Shell{
+		FS:      fs,
+		Interp:  interp.New(fs),
+		Lib:     spec.Builtin(),
+		Profile: profile,
+		Mode:    mode,
+	}
+	s.Interp.Observer = s.observe
+	return s
+}
+
+// Run executes a script through the line-oriented JIT loop: one complete
+// command is parsed, dispatched, and finished before the next is even
+// parsed — so each command sees the shell state its predecessors left.
+func (s *Shell) Run(src string) (int, error) {
+	rest := src
+	status := 0
+	for rest != "" {
+		stmts, n, err := syntax.ParseCommand(rest)
+		if err != nil {
+			return 2, err
+		}
+		if n == 0 {
+			break
+		}
+		rest = rest[n:]
+		if len(stmts) == 0 {
+			continue
+		}
+		status, err = s.Interp.RunStmts(stmts)
+		if err != nil {
+			return status, err
+		}
+		if s.Interp.Exited {
+			break
+		}
+	}
+	return status, nil
+}
+
+// observe is the interposition hook: the interpreter offers every
+// pipeline here before running it. `in` is the invoking interpreter —
+// possibly a subshell or command-substitution clone — whose state and
+// streams this decision must use.
+func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
+	if s.Mode == ModeBash {
+		// Baseline still charges modelled time for eligible pipelines so
+		// the harness can compare systems on equal footing.
+		if plan, facts, text, ok := s.analyze(in, st, false); ok {
+			seq := plan.Clone()
+			rewrite.RemoveUselessCat(seq)
+			if est, err := cost.EstimateGraph(seq, facts, s.Profile, false); err == nil {
+				s.Stats.VirtualSeconds += est.Seconds
+				s.record(Decision{Pipeline: text, Strategy: "interpret",
+					Reason: "bash mode", EstimatedSeconds: est.Seconds,
+					SequentialSeconds: est.Seconds, InputBytes: totalInput(plan, facts)})
+			}
+		}
+		return 0, false
+	}
+	start := time.Now()
+	// PaSh is ahead-of-time: it sees the script text, not the shell state,
+	// so any word that needs expansion hides the dataflow from it (§3.2:
+	// "neither PaSh nor POSH optimize this script"). Jash expands first.
+	staticOnly := s.Mode == ModePaSh
+	graph, facts, text, ok := s.analyze(in, st, staticOnly)
+	if !ok {
+		s.Stats.Interpreted++
+		return 0, false
+	}
+	var chosen *dfg.Graph
+	var dec rewrite.Decision
+	var err error
+	switch s.Mode {
+	case ModePaSh:
+		chosen, dec, err = rewrite.PaShPlan(graph, s.Profile.Cores)
+	default:
+		chosen, dec, err = rewrite.JashPlan(graph, facts, s.Profile)
+	}
+	if err != nil {
+		s.Stats.Interpreted++
+		return 0, false
+	}
+	planning := time.Since(start)
+	// Charge the model for the chosen plan, consuming burst credits.
+	est, err := cost.EstimateGraph(chosen, facts, s.Profile, false)
+	if err != nil {
+		s.Stats.Interpreted++
+		return 0, false
+	}
+	s.Stats.VirtualSeconds += est.Seconds
+	strategy := "sequential-df"
+	if dec.Width > 1 {
+		strategy = "parallel-df"
+	}
+	d := Decision{
+		Pipeline:          text,
+		Strategy:          strategy,
+		Width:             dec.Width,
+		Reason:            dec.Reason,
+		EstimatedSeconds:  est.Seconds,
+		SequentialSeconds: dec.SequentialEstimate.Seconds,
+		PlanningWall:      planning,
+		InputBytes:        totalInput(graph, facts),
+	}
+	if dev, okd := s.Profile.Devices["default"]; okd {
+		d.BurstCreditsBefore = dev.Credits
+	}
+	s.record(d)
+	s.Stats.Optimized++
+	// Execute the plan for real over the VFS, through the incremental
+	// cache when one is attached.
+	env := &exec.Env{
+		FS:     s.FS,
+		Dir:    in.Dir,
+		Stdin:  in.Stdin,
+		Stdout: in.Stdout,
+		Stderr: in.Stderr,
+		Getenv: in.Getenv,
+	}
+	var status int
+	var runErr error
+	if s.Incremental != nil {
+		var kind string
+		status, kind, runErr = s.Incremental.Run(chosen, env)
+		if s.Trace != nil && runErr == nil {
+			fmt.Fprintf(s.Trace, "jash[%s]: incremental cache: %s\n", s.Mode, kind)
+		}
+	} else {
+		status, runErr = exec.Run(chosen, env)
+	}
+	if runErr != nil {
+		fmt.Fprintf(in.Stderr, "jash: %v\n", runErr)
+		return 1, true
+	}
+	return status, true
+}
+
+func (s *Shell) record(d Decision) {
+	s.Stats.Decisions = append(s.Stats.Decisions, d)
+	if s.Trace != nil {
+		fmt.Fprintf(s.Trace, "jash[%s]: %s -> %s width=%d est=%.3fs (%s)\n",
+			s.Mode, d.Pipeline, d.Strategy, d.Width, d.EstimatedSeconds, d.Reason)
+	}
+}
+
+// analyze checks eligibility and, if the pipeline qualifies, expands it
+// (with the invoking interpreter's state) and translates it to a dataflow
+// graph with runtime input facts. staticOnly models an AOT optimizer:
+// words that depend on any shell state disqualify the pipeline.
+func (s *Shell) analyze(in *interp.Interp, st *syntax.Stmt, staticOnly bool) (*dfg.Graph, cost.Inputs, string, bool) {
+	pl := st.AndOr.First
+	if st.Background || pl.Negated || len(st.AndOr.Rest) > 0 {
+		return nil, cost.Inputs{}, "", false
+	}
+	text := syntax.PrintStmts([]*syntax.Stmt{st})
+	var binding dfg.Binding
+	var argvs [][]string
+	x := safeExpander(in)
+	for i, cmd := range pl.Cmds {
+		sc, ok := cmd.(*syntax.SimpleCommand)
+		if !ok {
+			return nil, cost.Inputs{}, "", false
+		}
+		if len(sc.Assigns) > 0 || len(sc.Args) == 0 {
+			return nil, cost.Inputs{}, "", false
+		}
+		// Redirections: stdin on the first stage, stdout on the last.
+		for _, r := range sc.Redirections {
+			switch {
+			case i == 0 && r.Op == syntax.RedirIn && r.DefaultFD() == 0:
+				target, ok := safeString(x, r.Target)
+				if !ok {
+					return nil, cost.Inputs{}, "", false
+				}
+				binding.StdinFile = absPath(in.Dir, target)
+			case i == len(pl.Cmds)-1 && (r.Op == syntax.RedirOut || r.Op == syntax.RedirAppend) && r.DefaultFD() == 1:
+				target, ok := safeString(x, r.Target)
+				if !ok {
+					return nil, cost.Inputs{}, "", false
+				}
+				binding.StdoutFile = absPath(in.Dir, target)
+				binding.StdoutAppend = r.Op == syntax.RedirAppend
+			default:
+				return nil, cost.Inputs{}, "", false
+			}
+		}
+		// Every word must be safe to expand ahead of execution (B2).
+		if !expand.AnalyzeWords(sc.Args).SafeToExpandEarly() {
+			return nil, cost.Inputs{}, "", false
+		}
+		if staticOnly {
+			for _, w := range sc.Args {
+				if !w.IsStatic() {
+					return nil, cost.Inputs{}, "", false
+				}
+			}
+		}
+		fields, err := x.ExpandWords(sc.Args)
+		if err != nil || len(fields) == 0 {
+			return nil, cost.Inputs{}, "", false
+		}
+		argvs = append(argvs, fields)
+	}
+	graph, err := dfg.FromPipeline(argvs, s.Lib, binding)
+	if err != nil {
+		return nil, cost.Inputs{}, "", false
+	}
+	// Runtime probing: every file source must exist and have a known
+	// size; a terminal-stdin source has unknown volume, so fall back.
+	dir := in.Dir
+	for _, src := range graph.Sources() {
+		if src.Path == "" {
+			return nil, cost.Inputs{}, "", false
+		}
+		if !s.FS.Exists(absPath(dir, src.Path)) {
+			return nil, cost.Inputs{}, "", false
+		}
+	}
+	facts := cost.Inputs{
+		Size: func(p string) int64 {
+			fi, err := s.FS.Stat(absPath(dir, p))
+			if err != nil {
+				return 0
+			}
+			return fi.Size
+		},
+		DeviceOf: func(p string) string {
+			return s.FS.DeviceFor(absPath(dir, p))
+		},
+	}
+	return graph, facts, text, true
+}
+
+// safeExpander returns the invoking interpreter's expander with command
+// substitution disabled: the analysis already rejected words containing
+// it, and this guarantees planning can never run commands.
+func safeExpander(in *interp.Interp) *expand.Expander {
+	return &expand.Expander{
+		Lookup: func(name string) (string, bool) {
+			v, ok := in.Vars[name]
+			return v.Value, ok
+		},
+		// No Set: planning must not mutate shell state.
+		Params: in.Params,
+		Name0:  in.Name0,
+		Status: in.Status,
+		PID:    in.PID,
+		FS:     in.FS,
+		Dir:    in.Dir,
+		NoGlob: in.NoGlob,
+	}
+}
+
+func safeString(x *expand.Expander, w *syntax.Word) (string, bool) {
+	if !expand.AnalyzeWord(w).SafeToExpandEarly() {
+		return "", false
+	}
+	v, err := x.ExpandString(w)
+	if err != nil {
+		return "", false
+	}
+	return v, true
+}
+
+func absPath(dir, p string) string {
+	if p == "" || p[0] == '/' {
+		return p
+	}
+	if dir == "" || dir == "/" {
+		return "/" + p
+	}
+	return dir + "/" + p
+}
+
+func totalInput(g *dfg.Graph, in cost.Inputs) int64 {
+	var total int64
+	for _, src := range g.Sources() {
+		if src.Path != "" && in.Size != nil {
+			total += in.Size(src.Path)
+		}
+	}
+	return total
+}
+
+// LastDecision returns the most recent decision, if any.
+func (s *Shell) LastDecision() (Decision, bool) {
+	if len(s.Stats.Decisions) == 0 {
+		return Decision{}, false
+	}
+	return s.Stats.Decisions[len(s.Stats.Decisions)-1], true
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"jash/internal/cost"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// realistic scripts, exercising control flow + optimizable pipelines
+// together. Each entry seeds its own filesystem; the test runs it under
+// bash, pash, and jash and requires identical stdout and identical final
+// filesystem contents.
+var scriptCorpus = []struct {
+	name  string
+	setup func(fs *vfs.FS)
+	src   string
+}{
+	{
+		name: "etl-wordcount",
+		setup: func(fs *vfs.FS) {
+			docs := workload.Documents(31, 3, 60_000)
+			fs.WriteFile("/raw/d1.txt", docs[0])
+			fs.WriteFile("/raw/d2.txt", docs[1])
+			fs.WriteFile("/raw/d3.txt", docs[2])
+		},
+		src: `mkdir -p /out
+for f in /raw/d1.txt /raw/d2.txt /raw/d3.txt; do
+  B=$(basename $f .txt)
+  cat $f | tr A-Z a-z | tr -cs a-z '\n' | sort | uniq -c | sort -rn | head -n5 >/out/$B.top
+done
+cat /out/d1.top /out/d2.top /out/d3.top | wc -l
+`,
+	},
+	{
+		name: "report-builder",
+		setup: func(fs *vfs.FS) {
+			fs.WriteFile("/var/log/app.log", workload.AccessLog(44, 5000))
+		},
+		src: `TOTAL=$(wc -l </var/log/app.log | tr -d ' ')
+ERRORS=$(grep -c " 500 " /var/log/app.log)
+echo "total=$TOTAL errors=$ERRORS"
+if test $ERRORS -gt 0; then
+  grep " 500 " /var/log/app.log | cut -d " " -f 1 | sort -u >/report/bad-ips.txt
+  echo "unique bad IPs: $(wc -l </report/bad-ips.txt | tr -d ' ')"
+else
+  echo "clean log"
+fi
+`,
+	},
+	{
+		name: "conditional-cleanup",
+		setup: func(fs *vfs.FS) {
+			fs.WriteFile("/work/keep.dat", []byte("important\n"))
+			fs.WriteFile("/work/tmp.a", []byte("x\n"))
+			fs.WriteFile("/work/tmp.b", []byte("y\n"))
+		},
+		src: `cd /work
+COUNT=0
+for f in tmp.a tmp.b tmp.c; do
+  if test -f $f; then
+    rm $f
+    COUNT=$((COUNT+1))
+  fi
+done
+echo removed $COUNT
+ls /work
+`,
+	},
+	{
+		name: "function-pipeline-mix",
+		setup: func(fs *vfs.FS) {
+			fs.WriteFile("/data/nums.txt", []byte("30\n5\n12\n7\n30\n1\n"))
+		},
+		src: `top() { sort -rn /data/nums.txt | head -n$1; }
+top 1
+top 3 | wc -l | tr -d ' '
+SUM=0
+while read n; do SUM=$((SUM+n)); done </data/nums.txt
+echo sum=$SUM
+case $SUM in
+  [0-9]) echo single-digit ;;
+  [0-9][0-9]) echo double-digit ;;
+  *) echo big ;;
+esac
+`,
+	},
+	{
+		name: "heredoc-config",
+		setup: func(fs *vfs.FS) {
+			fs.WriteFile("/etc/defaults", []byte("PORT=8080\nHOST=localhost\n"))
+		},
+		src: `VERSION=1.2.3
+cat >/etc/banner <<EOF
+service v$VERSION
+built with $((6*7)) threads
+EOF
+cat /etc/banner
+grep PORT /etc/defaults | cut -d= -f2
+`,
+	},
+	{
+		name: "glob-driven-merge",
+		setup: func(fs *vfs.FS) {
+			fs.WriteFile("/in/part-aa", []byte("delta\nalpha\n"))
+			fs.WriteFile("/in/part-ab", []byte("charlie\nbravo\n"))
+			fs.WriteFile("/in/other.txt", []byte("ignored\n"))
+		},
+		src: `cd /in
+cat part-* | sort | tee /merged >/dev/null
+wc -l </merged | tr -d ' '
+cat /merged
+`,
+	},
+}
+
+// snapshotFS renders every file's path and contents for comparison.
+func snapshotFS(t *testing.T, fs *vfs.FS, root string) string {
+	t.Helper()
+	var b strings.Builder
+	var walk func(dir string)
+	walk = func(dir string) {
+		entries, err := fs.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := dir + "/" + name
+			if dir == "/" {
+				p = "/" + name
+			}
+			fi, err := fs.Stat(p)
+			if err != nil {
+				continue
+			}
+			if fi.IsDir {
+				fmt.Fprintf(&b, "%s/\n", p)
+				walk(p)
+				continue
+			}
+			data, _ := fs.ReadFile(p)
+			fmt.Fprintf(&b, "%s %d %x\n", p, fi.Size, data)
+		}
+	}
+	walk(root)
+	return b.String()
+}
+
+func TestScriptCorpusModesAgree(t *testing.T) {
+	for _, sc := range scriptCorpus {
+		t.Run(sc.name, func(t *testing.T) {
+			type result struct {
+				out, errs, snap string
+				status          int
+				optimized       int
+			}
+			results := map[Mode]result{}
+			for _, mode := range []Mode{ModeBash, ModePaSh, ModeJash} {
+				fs := vfs.New()
+				sc.setup(fs)
+				sh, out, errb := newShell(fs, cost.IOOptEC2(), mode)
+				status, err := sh.Run(sc.src)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				results[mode] = result{
+					out:       out.String(),
+					errs:      errb.String(),
+					snap:      snapshotFS(t, fs, "/"),
+					status:    status,
+					optimized: sh.Stats.Optimized,
+				}
+			}
+			base := results[ModeBash]
+			for _, mode := range []Mode{ModePaSh, ModeJash} {
+				r := results[mode]
+				if r.out != base.out {
+					t.Errorf("%v stdout diverges:\nbash: %q\n%v: %q", mode, base.out, mode, r.out)
+				}
+				if r.status != base.status {
+					t.Errorf("%v status %d vs bash %d", mode, r.status, base.status)
+				}
+				if r.snap != base.snap {
+					t.Errorf("%v filesystem diverges:\nbash:\n%s\n%v:\n%s", mode, base.snap, mode, r.snap)
+				}
+			}
+			if base.errs != "" {
+				t.Errorf("bash stderr: %q", base.errs)
+			}
+		})
+	}
+}
+
+// TestScriptCorpusJashOptimizesSomething sanity-checks that the corpus is
+// not trivially interpreted everywhere — at least the ETL script's
+// pipelines must compile under Jash.
+func TestScriptCorpusJashOptimizesSomething(t *testing.T) {
+	sc := scriptCorpus[0]
+	fs := vfs.New()
+	sc.setup(fs)
+	sh, _, _ := newShell(fs, cost.IOOptEC2(), ModeJash)
+	if _, err := sh.Run(sc.src); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Stats.Optimized == 0 {
+		t.Error("ETL script compiled nothing; the corpus lost its point")
+	}
+}

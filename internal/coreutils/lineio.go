@@ -1,0 +1,206 @@
+package coreutils
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// maxLine is the largest line the utilities accept (16 MiB), far above the
+// POSIX LINE_MAX minimum.
+const maxLine = 16 << 20
+
+// forEachLine calls fn for every line of r, without the trailing newline.
+// A final line with no newline is still delivered. fn returning io.EOF
+// stops iteration early without error (used by head).
+func forEachLine(r io.Reader, fn func(line []byte) error) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var pending []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 {
+			if chunk[len(chunk)-1] == '\n' {
+				line := chunk[:len(chunk)-1]
+				if len(pending) > 0 {
+					pending = append(pending, line...)
+					line = pending
+				}
+				if e := fn(line); e != nil {
+					if e == io.EOF {
+						return nil
+					}
+					return e
+				}
+				pending = pending[:0]
+			} else {
+				if len(pending)+len(chunk) > maxLine {
+					return errLineTooLong
+				}
+				pending = append(pending, chunk...)
+			}
+		}
+		switch err {
+		case nil:
+		case bufio.ErrBufferFull:
+		case io.EOF:
+			if len(pending) > 0 {
+				if e := fn(pending); e != nil && e != io.EOF {
+					return e
+				}
+			}
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+var errLineTooLong = errLine("line too long")
+
+type errLine string
+
+func (e errLine) Error() string { return string(e) }
+
+// readLines slurps all lines of r.
+func readLines(r io.Reader) ([]string, error) {
+	var lines []string
+	err := forEachLine(r, func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	return lines, err
+}
+
+// lineWriter buffers writes of whole lines for throughput.
+type lineWriter struct {
+	w  *bufio.Writer
+	ok bool // false after a write error (downstream closed)
+}
+
+func newLineWriter(w io.Writer) *lineWriter {
+	return &lineWriter{w: bufio.NewWriterSize(w, 64<<10), ok: true}
+}
+
+// WriteLine writes line + "\n". After the first error it becomes a no-op
+// returning false, so producers can stop early when downstream hung up.
+func (lw *lineWriter) WriteLine(line []byte) bool {
+	if !lw.ok {
+		return false
+	}
+	if _, err := lw.w.Write(line); err != nil {
+		lw.ok = false
+		return false
+	}
+	if err := lw.w.WriteByte('\n'); err != nil {
+		lw.ok = false
+		return false
+	}
+	return true
+}
+
+// WriteString writes raw text (no newline added).
+func (lw *lineWriter) WriteString(s string) bool {
+	if !lw.ok {
+		return false
+	}
+	if _, err := lw.w.WriteString(s); err != nil {
+		lw.ok = false
+		return false
+	}
+	return true
+}
+
+// Flush flushes buffered output; returns false on error.
+func (lw *lineWriter) Flush() bool {
+	if !lw.ok {
+		return false
+	}
+	if err := lw.w.Flush(); err != nil {
+		lw.ok = false
+		return false
+	}
+	return true
+}
+
+// splitFields splits on runs of blanks, like awk's default and `sort`'s
+// field logic.
+func splitFields(line string) []string {
+	return strings.Fields(line)
+}
+
+// parseCombinedFlags separates leading -abc style flags from operands.
+// Flags listed in takesValue consume the following argument (or the rest
+// of the cluster) as their value. Parsing stops at "--" or the first
+// non-flag operand. A lone "-" is an operand (stdin).
+func parseCombinedFlags(args []string, takesValue string) (flags map[byte]string, operands []string, err error) {
+	flags = map[byte]string{}
+	i := 0
+	for i < len(args) {
+		a := args[i]
+		if a == "--" {
+			i++
+			break
+		}
+		if len(a) < 2 || a[0] != '-' {
+			break
+		}
+		j := 1
+		for j < len(a) {
+			f := a[j]
+			if strings.IndexByte(takesValue, f) >= 0 {
+				if j+1 < len(a) {
+					flags[f] = a[j+1:]
+				} else {
+					i++
+					if i >= len(args) {
+						return nil, nil, errLine("option -" + string(f) + " requires an argument")
+					}
+					flags[f] = args[i]
+				}
+				j = len(a)
+			} else {
+				flags[f] = ""
+				j++
+			}
+		}
+		i++
+	}
+	return flags, args[i:], nil
+}
+
+// has reports whether a parsed flag set contains the flag.
+func has(flags map[byte]string, f byte) bool {
+	_, ok := flags[f]
+	return ok
+}
+
+// countTrailingContext is a tiny helper for tail: keep the last n lines.
+type lastN struct {
+	n     int
+	lines [][]byte
+}
+
+func (l *lastN) add(line []byte) {
+	cp := append([]byte(nil), line...)
+	l.lines = append(l.lines, cp)
+	if len(l.lines) > l.n {
+		l.lines = l.lines[len(l.lines)-l.n:]
+	}
+}
+
+// concatReaders joins readers sequentially.
+func concatReaders(rs []io.Reader) io.Reader {
+	if len(rs) == 1 {
+		return rs[0]
+	}
+	return io.MultiReader(rs...)
+}
+
+// writeAll copies r to w, reporting success.
+func writeAll(w io.Writer, r io.Reader) error {
+	_, err := io.Copy(w, r)
+	return err
+}
+
+// bytesClone copies a byte slice, used where lines outlive their buffer.
+func bytesClone(b []byte) []byte { return append([]byte(nil), b...) }

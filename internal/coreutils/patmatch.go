@@ -1,0 +1,6 @@
+package coreutils
+
+import "jash/internal/pattern"
+
+// patMatch matches a shell pattern, shared by find -name.
+func patMatch(pat, name string) bool { return pattern.Match(pat, name) }

@@ -1,0 +1,206 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"jash/internal/dfg"
+	"jash/internal/spec"
+	"jash/internal/storage"
+)
+
+var lib = spec.Builtin()
+
+func graphOf(t *testing.T, argvs ...[]string) *dfg.Graph {
+	t.Helper()
+	g, err := dfg.FromPipeline(argvs, lib, dfg.Binding{StdinFile: "/in"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func inputsOf(size int64) Inputs {
+	return Inputs{
+		Size:     func(string) int64 { return size },
+		DeviceOf: func(string) string { return "default" },
+	}
+}
+
+func TestEstimateSequentialStageBound(t *testing.T) {
+	// A single-stage sort of 1 GiB on an 8-core box: the stage bound
+	// (single-threaded sort) must dominate, not the CPU bound.
+	g := graphOf(t, []string{"sort"})
+	prof := Laptop()
+	prof.Cores = 8
+	est, err := EstimateGraph(g, inputsOf(1<<30), prof, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Phases) != 1 {
+		t.Fatalf("phases = %d", len(est.Phases))
+	}
+	ph := est.Phases[0]
+	if ph.Bottleneck != "stage" {
+		t.Errorf("bottleneck = %s, want stage", ph.Bottleneck)
+	}
+	// sort CPUFactor 12 at 400 MB/s base -> ~33 MB/s -> 1 GiB ~ 30s.
+	want := float64(1<<30) * 12 / float64(400<<20)
+	if math.Abs(ph.Seconds-want)/want > 0.01 {
+		t.Errorf("seconds = %.2f, want %.2f", ph.Seconds, want)
+	}
+}
+
+func TestEstimateScalesWithInput(t *testing.T) {
+	g := graphOf(t, []string{"tr", "A-Z", "a-z"}, []string{"sort"})
+	prof := Laptop()
+	small, _ := EstimateGraph(g, inputsOf(1<<20), prof, true)
+	large, _ := EstimateGraph(g, inputsOf(1<<30), prof, true)
+	ratio := large.Seconds / small.Seconds
+	if ratio < 500 || ratio > 2000 {
+		t.Errorf("1024x input gave %vx time", ratio)
+	}
+}
+
+func TestEstimateOutputRatioPropagates(t *testing.T) {
+	// grep -v drops data: the downstream sort sees less than the input.
+	g1 := graphOf(t, []string{"sort"})
+	g2 := graphOf(t, []string{"grep", "-v", "x"}, []string{"sort"})
+	prof := Laptop()
+	e1, _ := EstimateGraph(g1, inputsOf(1<<30), prof, true)
+	e2, _ := EstimateGraph(g2, inputsOf(1<<30), prof, true)
+	// In g2 sort only sees half the data (grep OutputRatio 0.5), so the
+	// whole pipeline is faster than bare sort despite the extra stage.
+	if e2.Seconds >= e1.Seconds {
+		t.Errorf("grep|sort %.2fs should beat sort %.2fs (volume reduction)", e2.Seconds, e1.Seconds)
+	}
+}
+
+func TestEstimateIOBoundOnSlowDevice(t *testing.T) {
+	g := graphOf(t, []string{"cat"})
+	slow := &Profile{
+		Name: "slow", Cores: 4, BaseRate: 400 << 20,
+		Devices: map[string]*storage.State{
+			"default": storage.NewState(&storage.Device{
+				Name: "floppy", BaseIOPS: 10, BurstIOPS: 10,
+				OpBytes: 1 << 20, BandwidthBPS: 1e15,
+			}),
+		},
+		BufferDevice: "default",
+	}
+	est, _ := EstimateGraph(g, inputsOf(100<<20), slow, true)
+	if est.Phases[0].Bottleneck != "io:default" {
+		t.Errorf("bottleneck = %s, want io:default", est.Phases[0].Bottleneck)
+	}
+	// 100 MB at 10 MB/s = 10s.
+	if math.Abs(est.Seconds-10) > 0.5 {
+		t.Errorf("seconds = %.2f, want ~10", est.Seconds)
+	}
+}
+
+func TestEstimateBufferedEdgesCostIO(t *testing.T) {
+	// Same pipeline, one buffered edge: the buffered variant must cost
+	// strictly more on an IO-limited device and create a second phase.
+	base := graphOf(t, []string{"tr", "a", "b"}, []string{"sort"})
+	buffered := base.Clone()
+	for _, e := range buffered.Edges {
+		from := buffered.Nodes[e.From]
+		if from.Kind == dfg.KindCommand && from.Argv[0] == "tr" {
+			e.Buffered = true
+		}
+	}
+	prof := StandardEC2()
+	e1, _ := EstimateGraph(base, inputsOf(1<<30), prof, true)
+	e2, _ := EstimateGraph(buffered, inputsOf(1<<30), prof, true)
+	if len(e2.Phases) != 2 {
+		t.Errorf("buffered graph phases = %d, want 2", len(e2.Phases))
+	}
+	if e2.Seconds <= e1.Seconds {
+		t.Errorf("buffered %.2fs should exceed streaming %.2fs", e2.Seconds, e1.Seconds)
+	}
+}
+
+func TestEphemeralEstimatePreservesCredits(t *testing.T) {
+	g := graphOf(t, []string{"cat"})
+	prof := StandardEC2()
+	before := prof.Devices["default"].Credits
+	EstimateGraph(g, inputsOf(1<<30), prof, true)
+	if prof.Devices["default"].Credits != before {
+		t.Error("ephemeral estimate consumed credits")
+	}
+	EstimateGraph(g, inputsOf(1<<30), prof, false)
+	if prof.Devices["default"].Credits >= before {
+		t.Error("non-ephemeral estimate did not consume credits")
+	}
+}
+
+func TestProfileCloneIndependent(t *testing.T) {
+	p := StandardEC2()
+	c := p.Clone()
+	c.Devices["default"].Credits = 0
+	if p.Devices["default"].Credits == 0 {
+		t.Error("clone shares device state")
+	}
+}
+
+func TestExplainAndString(t *testing.T) {
+	g := graphOf(t, []string{"sort"})
+	est, err := EstimateGraph(g, inputsOf(1<<20), Laptop(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := est.String()
+	if !strings.Contains(s, "phase 1") {
+		t.Errorf("String() = %q", s)
+	}
+	e := Explain(est)
+	if !strings.Contains(e, "bottleneck") || !strings.Contains(e, "total") {
+		t.Errorf("Explain() = %q", e)
+	}
+}
+
+func TestDeviceFallback(t *testing.T) {
+	p := Laptop()
+	if d := p.Device("nonexistent"); d == nil {
+		t.Fatal("nil device")
+	}
+	empty := &Profile{Name: "bare", Cores: 1, BaseRate: 1 << 20, Devices: map[string]*storage.State{}}
+	if d := empty.Device("x"); d == nil || d.Device.Name != "unlimited" {
+		t.Errorf("fallback device = %v", d)
+	}
+}
+
+func TestSortedDeviceNames(t *testing.T) {
+	p := Laptop()
+	p.Devices["zeta"] = storage.NewState(storage.Unlimited())
+	p.Devices["alpha"] = storage.NewState(storage.Unlimited())
+	names := p.SortedDeviceNames()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestFileSinkChargesIO(t *testing.T) {
+	lib2 := spec.Builtin()
+	withSink, err := dfg.FromPipeline([][]string{{"cat"}}, lib2, dfg.Binding{StdinFile: "/in", StdoutFile: "/out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSink := graphOf(t, []string{"cat"})
+	slow := &Profile{
+		Name: "slow", Cores: 4, BaseRate: 400 << 20,
+		Devices: map[string]*storage.State{
+			"default": storage.NewState(&storage.Device{
+				Name: "slow", BaseIOPS: 100, BurstIOPS: 100,
+				OpBytes: 1 << 20, BandwidthBPS: 1e15,
+			}),
+		},
+		BufferDevice: "default",
+	}
+	e1, _ := EstimateGraph(withSink, inputsOf(1<<30), slow, true)
+	e2, _ := EstimateGraph(noSink, inputsOf(1<<30), slow, true)
+	if e1.Seconds <= e2.Seconds {
+		t.Errorf("file sink %.2fs should cost more than stdout %.2fs", e1.Seconds, e2.Seconds)
+	}
+}

@@ -1,0 +1,34 @@
+package dfg
+
+// Clone returns a deep copy of the graph. Node specs are shared (they are
+// immutable after resolution); argv slices are copied.
+func (g *Graph) Clone() *Graph {
+	cp := New()
+	cp.nextID = g.nextID
+	for id, n := range g.Nodes {
+		nn := *n
+		nn.Argv = append([]string(nil), n.Argv...)
+		cp.Nodes[id] = &nn
+	}
+	for _, e := range g.Edges {
+		ee := *e
+		cp.Edges = append(cp.Edges, &ee)
+	}
+	return cp
+}
+
+// Chain returns the graph's main spine: starting from the given node,
+// follow single-output edges until the sink. Multi-output nodes stop the
+// walk.
+func (g *Graph) Chain(from *Node) []*Node {
+	var chain []*Node
+	cur := from
+	for {
+		chain = append(chain, cur)
+		out := g.Out(cur.ID)
+		if len(out) != 1 {
+			return chain
+		}
+		cur = g.Nodes[out[0].To]
+	}
+}

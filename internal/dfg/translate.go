@@ -1,0 +1,153 @@
+package dfg
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"jash/internal/spec"
+)
+
+// ErrNotDataflow marks pipelines that are not pure dataflow regions:
+// unknown commands, side-effectful stages, or stages that ignore their
+// input stream. The JIT falls back to the interpreter for these.
+var ErrNotDataflow = errors.New("pipeline is not a dataflow region")
+
+// Binding says where the pipeline's ends are attached after redirection
+// expansion: empty strings mean the terminal.
+type Binding struct {
+	StdinFile    string
+	StdoutFile   string
+	StdoutAppend bool
+}
+
+// FromPipeline translates a pipeline of fully-expanded argument vectors
+// into a dataflow graph, resolving each stage against the specification
+// library. File operands become Source nodes and are stripped from the
+// node's argv (the executor feeds streams); grep-style pattern operands
+// stay. The translation is conservative: anything the spec library cannot
+// vouch for aborts with ErrNotDataflow.
+func FromPipeline(argvs [][]string, lib *spec.Library, b Binding) (*Graph, error) {
+	if len(argvs) == 0 {
+		return nil, fmt.Errorf("%w: empty pipeline", ErrNotDataflow)
+	}
+	g := New()
+	var upstream *Node // output of the previous stage
+	for i, argv := range argvs {
+		if len(argv) == 0 {
+			return nil, fmt.Errorf("%w: empty stage", ErrNotDataflow)
+		}
+		e := lib.Resolve(argv)
+		if _, known := lib.Lookup(argv[0]); !known {
+			return nil, fmt.Errorf("%w: unknown command %q", ErrNotDataflow, argv[0])
+		}
+		if e.Class == spec.SideEffectful && i > 0 {
+			return nil, fmt.Errorf("%w: side-effectful stage %q", ErrNotDataflow, argv[0])
+		}
+		generator := !e.ReadsStdin && len(e.InputFiles) == 0
+		if i > 0 && generator {
+			return nil, fmt.Errorf("%w: stage %q ignores its pipe input", ErrNotDataflow, argv[0])
+		}
+		if i == 0 && e.Class == spec.SideEffectful && !generator {
+			return nil, fmt.Errorf("%w: side-effectful stage %q", ErrNotDataflow, argv[0])
+		}
+		node := g.AddNode(&Node{
+			Kind: KindCommand,
+			Argv: argvWithoutInputs(argv, e),
+			Spec: e,
+		})
+		// Wire the stage's inputs in operand order.
+		switch {
+		case len(e.InputFiles) > 0:
+			for port, f := range e.InputFiles {
+				if f == "-" {
+					src := upstream
+					if src == nil {
+						src = g.AddNode(&Node{Kind: KindSource, Path: b.StdinFile})
+					}
+					g.ConnectPort(src, node, 0, port)
+					continue
+				}
+				src := g.AddNode(&Node{Kind: KindSource, Path: f})
+				g.ConnectPort(src, node, 0, port)
+			}
+		case e.ReadsStdin || generator:
+			src := upstream
+			if src == nil {
+				src = g.AddNode(&Node{Kind: KindSource, Path: b.StdinFile})
+			}
+			g.Connect(src, node)
+		}
+		upstream = node
+	}
+	sink := g.AddNode(&Node{Kind: KindSink, Path: b.StdoutFile, Append: b.StdoutAppend})
+	g.Connect(upstream, sink)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// argvWithoutInputs removes the operands identified as input files,
+// leaving flags (and non-file operands like grep's pattern) in place.
+func argvWithoutInputs(argv []string, e *spec.Effective) []string {
+	if len(e.InputFiles) == 0 {
+		return append([]string(nil), argv...)
+	}
+	remaining := map[string]int{}
+	for _, f := range e.InputFiles {
+		remaining[f]++
+	}
+	out := []string{argv[0]}
+	i := 1
+	// Walk like the operand scanner: flags pass through, operands that
+	// match pending input files are dropped (right to left of the multiset).
+	seenDashDash := false
+	// grep's pattern operand was excluded from InputFiles by the refine
+	// hook; since it is an operand too, only drop operands while the
+	// multiset has entries, scanning from the end so the pattern (first
+	// operand) survives.
+	type slot struct {
+		idx     int
+		operand bool
+	}
+	var slots []slot
+	for ; i < len(argv); i++ {
+		a := argv[i]
+		switch {
+		case seenDashDash:
+			slots = append(slots, slot{i, true})
+		case a == "--":
+			slots = append(slots, slot{i, false})
+			seenDashDash = true
+		case a == "-":
+			slots = append(slots, slot{i, true})
+		case strings.HasPrefix(a, "-") && len(a) > 1:
+			slots = append(slots, slot{i, false})
+			last := a[len(a)-1]
+			if strings.IndexByte(e.ValueFlags, last) >= 0 && i+1 < len(argv) {
+				i++
+				slots = append(slots, slot{i, false})
+			}
+		default:
+			slots = append(slots, slot{i, true})
+		}
+	}
+	drop := map[int]bool{}
+	for j := len(slots) - 1; j >= 0; j-- {
+		s := slots[j]
+		if !s.operand {
+			continue
+		}
+		if remaining[argv[s.idx]] > 0 {
+			remaining[argv[s.idx]]--
+			drop[s.idx] = true
+		}
+	}
+	for _, s := range slots {
+		if !drop[s.idx] {
+			out = append(out, argv[s.idx])
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"jash/internal/dfg"
+	"jash/internal/interp"
+	"jash/internal/rewrite"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// diffStage pairs an argv with its shell-script rendering.
+type diffStage struct {
+	argv   []string
+	script string
+}
+
+// stagePool is the set of stages the differential fuzzer composes. Every
+// stage reads stdin and is covered by the spec library.
+var stagePool = []diffStage{
+	{[]string{"tr", "a-z", "A-Z"}, "tr a-z A-Z"},
+	{[]string{"tr", "-d", "aeiou"}, "tr -d aeiou"},
+	{[]string{"tr", "-s", " "}, "tr -s ' '"},
+	{[]string{"grep", "-v", "the"}, "grep -v the"},
+	{[]string{"grep", "a"}, "grep a"},
+	{[]string{"cut", "-c", "1-20"}, "cut -c 1-20"},
+	{[]string{"cut", "-d", " ", "-f", "1"}, "cut -d ' ' -f 1"},
+	{[]string{"sed", "s/a/X/"}, "sed s/a/X/"},
+	{[]string{"sed", "s/e//g"}, "sed s/e//g"},
+	{[]string{"awk", "{print $1}"}, "awk '{print $1}'"},
+	{[]string{"rev"}, "rev"},
+	{[]string{"sort"}, "sort"},
+	{[]string{"sort", "-r"}, "sort -r"},
+	{[]string{"sort", "-u"}, "sort -u"},
+	{[]string{"uniq"}, "uniq"},
+	{[]string{"uniq", "-c"}, "uniq -c"},
+	{[]string{"wc", "-l"}, "wc -l"},
+	{[]string{"head", "-n", "7"}, "head -n 7"},
+	{[]string{"tail", "-n", "5"}, "tail -n 5"},
+	{[]string{"fold", "-w", "13"}, "fold -w 13"},
+}
+
+// TestDifferentialRandomPipelines is the Smoosh-style oracle test: for
+// randomly composed pipelines, the AST interpreter, the sequential
+// dataflow executor, and every parallelized plan must produce identical
+// bytes. This cross-checks four subsystems (interp, dfg translation,
+// rewrite, exec) against each other.
+func TestDifferentialRandomPipelines(t *testing.T) {
+	rng := workload.NewRNG(2026)
+	input := workload.Words(9, 20_000)
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte(input))
+
+	const trials = 80
+	tested, parallelTested := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + rng.Intn(4)
+		stages := make([]diffStage, n)
+		for i := range stages {
+			stages[i] = stagePool[rng.Intn(len(stagePool))]
+		}
+		var argvs [][]string
+		var scriptParts []string
+		for _, s := range stages {
+			argvs = append(argvs, s.argv)
+			scriptParts = append(scriptParts, s.script)
+		}
+		script := "cat /in | " + strings.Join(scriptParts, " | ") + "\n"
+
+		// Oracle 1: the AST interpreter.
+		in := interp.New(fs)
+		var interpOut bytes.Buffer
+		in.Stdout = &interpOut
+		in.Stderr = &bytes.Buffer{}
+		if _, err := in.RunScript(script); err != nil {
+			t.Fatalf("trial %d: interp error for %q: %v", trial, script, err)
+		}
+
+		// Oracle 2: the sequential dataflow plan.
+		g, err := dfg.FromPipeline(argvs, lib, dfg.Binding{StdinFile: "/in"})
+		if err != nil {
+			t.Fatalf("trial %d: translate %q: %v", trial, script, err)
+		}
+		var seqOut bytes.Buffer
+		if _, err := Run(g, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+			Stdout: &seqOut, Stderr: &bytes.Buffer{}}); err != nil {
+			t.Fatalf("trial %d: exec %q: %v", trial, script, err)
+		}
+		if interpOut.String() != seqOut.String() {
+			t.Fatalf("trial %d: interp vs dataflow diverge for %q\ninterp: %.200q\n  exec: %.200q",
+				trial, script, interpOut.String(), seqOut.String())
+		}
+		tested++
+
+		// Every achievable parallel width must agree too.
+		for _, width := range []int{2, 3, 5} {
+			par, err := rewrite.Parallelize(g, rewrite.Options{Width: width, Buffered: width == 3})
+			if err != nil {
+				continue // no splittable segment: fine
+			}
+			var parOut bytes.Buffer
+			if _, err := Run(par, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+				Stdout: &parOut, Stderr: &bytes.Buffer{}}); err != nil {
+				t.Fatalf("trial %d width %d: exec: %v", trial, width, err)
+			}
+			if parOut.String() != seqOut.String() {
+				t.Fatalf("trial %d: width-%d plan diverges for %q\n  seq: %.200q\n  par: %.200q",
+					trial, width, script, seqOut.String(), parOut.String())
+			}
+			parallelTested++
+		}
+	}
+	if tested != trials {
+		t.Fatalf("tested %d/%d", tested, trials)
+	}
+	if parallelTested < trials {
+		t.Errorf("only %d parallel plans exercised; pool too blocking-heavy?", parallelTested)
+	}
+	t.Logf("differential: %d pipelines, %d parallel plans, all agree", tested, parallelTested)
+}
+
+// TestDifferentialSeededVariants re-runs a smaller sweep with different
+// corpus shapes (numeric, duplicate-heavy, empty lines).
+func TestDifferentialSeededVariants(t *testing.T) {
+	corpora := map[string]string{
+		"numeric":    genNumeric(),
+		"duplicates": strings.Repeat("alpha\nbeta\nalpha\n\ngamma\n", 200),
+		"longlines":  strings.Repeat(strings.Repeat("xy z", 500)+"\n", 20),
+	}
+	for name, corpus := range corpora {
+		fs := vfs.New()
+		fs.WriteFile("/in", []byte(corpus))
+		rng := workload.NewRNG(7)
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(3)
+			var argvs [][]string
+			var parts []string
+			for i := 0; i < n; i++ {
+				s := stagePool[rng.Intn(len(stagePool))]
+				argvs = append(argvs, s.argv)
+				parts = append(parts, s.script)
+			}
+			script := "cat /in | " + strings.Join(parts, " | ") + "\n"
+			in := interp.New(fs)
+			var interpOut bytes.Buffer
+			in.Stdout = &interpOut
+			in.Stderr = &bytes.Buffer{}
+			if _, err := in.RunScript(script); err != nil {
+				t.Fatalf("%s trial %d: %v", name, trial, err)
+			}
+			g, err := dfg.FromPipeline(argvs, lib, dfg.Binding{StdinFile: "/in"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var execOut bytes.Buffer
+			if _, err := Run(g, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+				Stdout: &execOut, Stderr: &bytes.Buffer{}}); err != nil {
+				t.Fatal(err)
+			}
+			if interpOut.String() != execOut.String() {
+				t.Fatalf("%s trial %d: diverge for %q", name, trial, script)
+			}
+		}
+	}
+}
+
+func genNumeric() string {
+	rng := workload.NewRNG(3)
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "%d %d\n", rng.Intn(100), rng.Intn(1000))
+	}
+	return b.String()
+}

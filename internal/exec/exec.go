@@ -1,0 +1,375 @@
+// Package exec runs dataflow graphs for real: every node becomes a
+// goroutine, every edge an in-memory pipe, and command nodes dispatch to
+// the hermetic coreutils. It is the execution backend the Jash JIT hands
+// optimized plans to, and the oracle the tests use to check that rewritten
+// graphs are output-equivalent to the original pipelines.
+//
+// Fidelity notes: split nodes buffer their input to cut it into
+// line-aligned consecutive chunks (PaSh splits by byte ranges of the input
+// file; buffering is equivalent at our scale and keeps the executor
+// simple), and multi-input commands (comm, join, merge) materialize their
+// side inputs to temporary VFS files. Predicted performance comes from
+// package cost, not from wall-clocking this executor.
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"jash/internal/coreutils"
+	"jash/internal/dfg"
+	"jash/internal/spec"
+	"jash/internal/vfs"
+)
+
+// Env is the execution environment for one graph run.
+type Env struct {
+	FS     *vfs.FS
+	Dir    string
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+	// Getenv resolves environment variables for command nodes; may be nil.
+	Getenv func(string) string
+
+	// tmpDir is the per-run scratch directory, set by Run.
+	tmpDir string
+}
+
+var tmpSeq atomic.Int64
+
+// lockedWriter serializes writes from concurrent node goroutines.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// Run executes the graph and returns the POSIX-style exit status: the
+// status of the final command stage (the node feeding the sink), like a
+// shell pipeline's. Temporary materializations live in a per-run
+// directory under /.jash-tmp and are removed before returning.
+func Run(g *dfg.Graph, env *Env) (int, error) {
+	if err := g.Validate(); err != nil {
+		return 2, err
+	}
+	runEnv := *env
+	runEnv.tmpDir = fmt.Sprintf("/.jash-tmp/run-%d", tmpSeq.Add(1))
+	// Node goroutines write Stdout (sink) and Stderr (diagnostics)
+	// concurrently; a caller may pass the same writer for both, so route
+	// them through one lock.
+	var outMu sync.Mutex
+	if runEnv.Stdout != nil {
+		runEnv.Stdout = &lockedWriter{mu: &outMu, w: runEnv.Stdout}
+	}
+	if runEnv.Stderr != nil {
+		runEnv.Stderr = &lockedWriter{mu: &outMu, w: runEnv.Stderr}
+	}
+	env = &runEnv
+	defer func() {
+		env.FS.RemoveAll(env.tmpDir)
+		env.FS.Remove("/.jash-tmp") // succeeds once the last run cleans up
+	}()
+	order, err := g.TopoSort()
+	if err != nil {
+		return 2, err
+	}
+	// Build one pipe per edge.
+	type pipeEnds struct {
+		r *io.PipeReader
+		w *io.PipeWriter
+	}
+	pipes := map[*dfg.Edge]*pipeEnds{}
+	for _, e := range g.Edges {
+		r, w := io.Pipe()
+		pipes[e] = &pipeEnds{r, w}
+	}
+	statuses := map[int]*int{}
+	var mu sync.Mutex
+	setStatus := func(id, st int) {
+		mu.Lock()
+		statuses[id] = &st
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	var firstErr error
+	reportErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for _, n := range order {
+		wg.Add(1)
+		go func(n *dfg.Node) {
+			defer wg.Done()
+			ins := g.In(n.ID)
+			outs := g.Out(n.ID)
+			inReaders := make([]io.Reader, len(ins))
+			for i, e := range ins {
+				inReaders[i] = pipes[e].r
+			}
+			outWriters := make([]io.Writer, len(outs))
+			for i, e := range outs {
+				outWriters[i] = pipes[e].w
+			}
+			closeOuts := func() {
+				for _, e := range outs {
+					pipes[e].w.Close()
+				}
+			}
+			closeIns := func() {
+				for _, e := range ins {
+					pipes[e].r.Close()
+				}
+			}
+			defer closeOuts()
+			defer closeIns()
+			switch n.Kind {
+			case dfg.KindSource:
+				var src io.Reader
+				if n.Path == "" {
+					src = env.Stdin
+					if src == nil {
+						src = strings.NewReader("")
+					}
+				} else {
+					rc, err := env.FS.Open(lookup(env.Dir, n.Path))
+					if err != nil {
+						reportErr(err)
+						setStatus(n.ID, 1)
+						return
+					}
+					defer rc.Close()
+					src = rc
+				}
+				io.Copy(outWriters[0], src)
+				setStatus(n.ID, 0)
+			case dfg.KindSink:
+				var dst io.Writer = env.Stdout
+				if dst == nil {
+					dst = io.Discard
+				}
+				if n.Path != "" {
+					var w io.WriteCloser
+					var err error
+					if n.Append {
+						w, err = env.FS.Append(lookup(env.Dir, n.Path))
+					} else {
+						w, err = env.FS.Create(lookup(env.Dir, n.Path))
+					}
+					if err != nil {
+						reportErr(err)
+						setStatus(n.ID, 1)
+						return
+					}
+					defer w.Close()
+					dst = w
+				}
+				io.Copy(dst, inReaders[0])
+				setStatus(n.ID, 0)
+			case dfg.KindSplit:
+				setStatus(n.ID, runSplit(inReaders[0], outWriters))
+			case dfg.KindMerge:
+				setStatus(n.ID, runMerge(n, inReaders, outWriters[0], env))
+			case dfg.KindCommand:
+				setStatus(n.ID, runCommand(n, inReaders, outWriters[0], env))
+			}
+		}(n)
+	}
+	wg.Wait()
+	// Pipeline status: the node feeding the sink.
+	sink := g.Sink()
+	final := 0
+	if sink != nil {
+		in := g.In(sink.ID)
+		if len(in) == 1 {
+			if st := statuses[in[0].From]; st != nil {
+				final = *st
+			}
+		}
+	}
+	return final, firstErr
+}
+
+func lookup(dir, p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	if dir == "" {
+		dir = "/"
+	}
+	return strings.TrimSuffix(dir, "/") + "/" + p
+}
+
+// runSplit cuts the input into len(outs) line-aligned consecutive chunks.
+func runSplit(in io.Reader, outs []io.Writer) int {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return 1
+	}
+	chunks := splitLines(data, len(outs))
+	for i, w := range outs {
+		if len(chunks[i]) > 0 {
+			w.Write(chunks[i])
+		}
+	}
+	return 0
+}
+
+// splitLines divides data into n consecutive chunks on line boundaries,
+// sized as evenly as the lines allow.
+func splitLines(data []byte, n int) [][]byte {
+	chunks := make([][]byte, n)
+	if len(data) == 0 {
+		return chunks
+	}
+	target := (len(data) + n - 1) / n
+	start := 0
+	for i := 0; i < n-1; i++ {
+		end := start + target
+		if end >= len(data) {
+			end = len(data)
+		} else {
+			// Extend to the next newline so no line is torn.
+			nl := bytes.IndexByte(data[end:], '\n')
+			if nl < 0 {
+				end = len(data)
+			} else {
+				end += nl + 1
+			}
+		}
+		chunks[i] = data[start:end]
+		start = end
+	}
+	chunks[n-1] = data[start:]
+	return chunks
+}
+
+// runMerge recombines lane outputs per the aggregation discipline.
+func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
+	switch n.Agg {
+	case spec.AggConcat:
+		for _, r := range ins {
+			if _, err := io.Copy(out, r); err != nil {
+				return 1
+			}
+		}
+		return 0
+	case spec.AggMergeSort:
+		// Materialize lanes and run the merge command (e.g. sort -m).
+		paths := make([]string, len(ins))
+		for i, r := range ins {
+			data, err := io.ReadAll(r)
+			if err != nil {
+				return 1
+			}
+			p := fmt.Sprintf("%s/merge-%d-%d", env.tmpDir, tmpSeq.Add(1), i)
+			if err := env.FS.WriteFile(p, data); err != nil {
+				return 1
+			}
+			paths[i] = p
+		}
+		defer func() {
+			for _, p := range paths {
+				env.FS.Remove(p)
+			}
+		}()
+		argv := append(append([]string(nil), n.Argv...), paths...)
+		return dispatch(argv, strings.NewReader(""), out, env)
+	case spec.AggSum:
+		// Sum whitespace-separated numeric columns across lanes.
+		var sums []int64
+		for _, r := range ins {
+			data, err := io.ReadAll(r)
+			if err != nil {
+				return 1
+			}
+			fields := strings.Fields(string(data))
+			for i, f := range fields {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					continue
+				}
+				for len(sums) <= i {
+					sums = append(sums, 0)
+				}
+				sums[i] += v
+			}
+		}
+		parts := make([]string, len(sums))
+		for i, s := range sums {
+			parts[i] = strconv.FormatInt(s, 10)
+		}
+		fmt.Fprintln(out, strings.Join(parts, " "))
+		return 0
+	}
+	return 1
+}
+
+// runCommand executes a command node. Single-input nodes stream via
+// stdin; multi-input nodes materialize their ports to temporary files in
+// port order and append the paths to the argv.
+func runCommand(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
+	if len(ins) <= 1 {
+		var stdin io.Reader = strings.NewReader("")
+		if len(ins) == 1 {
+			stdin = ins[0]
+		}
+		return dispatch(n.Argv, stdin, out, env)
+	}
+	paths := make([]string, len(ins))
+	for i, r := range ins {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return 1
+		}
+		p := fmt.Sprintf("%s/port-%d-%d", env.tmpDir, tmpSeq.Add(1), i)
+		if err := env.FS.WriteFile(p, data); err != nil {
+			return 1
+		}
+		paths[i] = p
+	}
+	defer func() {
+		for _, p := range paths {
+			env.FS.Remove(p)
+		}
+	}()
+	argv := append(append([]string(nil), n.Argv...), paths...)
+	return dispatch(argv, strings.NewReader(""), out, env)
+}
+
+func dispatch(argv []string, stdin io.Reader, out io.Writer, env *Env) int {
+	fn, ok := coreutils.Lookup(argv[0])
+	if !ok {
+		fmt.Fprintf(errWriter(env), "jash-exec: %s: command not found\n", argv[0])
+		return 127
+	}
+	ctx := &coreutils.Context{
+		FS:     env.FS,
+		Dir:    env.Dir,
+		Stdin:  stdin,
+		Stdout: out,
+		Stderr: errWriter(env),
+		Getenv: env.Getenv,
+	}
+	return fn(ctx, argv)
+}
+
+func errWriter(env *Env) io.Writer {
+	if env.Stderr != nil {
+		return env.Stderr
+	}
+	return io.Discard
+}

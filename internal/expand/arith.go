@@ -1,0 +1,476 @@
+package expand
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EvalArith evaluates a POSIX shell arithmetic expression ($((...))).
+// Variables resolve through lookup (unset or non-numeric variables read as
+// 0, per POSIX); assignments call assign. The grammar covers the full
+// POSIX set: ternary ?:, logical || &&, bitwise | ^ &, equality,
+// relational, shifts, additive, multiplicative, unary + - ! ~, parentheses,
+// and decimal/octal/hex literals.
+func EvalArith(expr string, lookup func(string) string, assign func(string, string)) (int64, error) {
+	p := &arithParser{src: expr, lookup: lookup, assign: assign}
+	v, err := p.ternary()
+	if err != nil {
+		return 0, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("arithmetic: unexpected %q", p.src[p.pos:])
+	}
+	return v, nil
+}
+
+type arithParser struct {
+	src    string
+	pos    int
+	lookup func(string) string
+	assign func(string, string)
+}
+
+func (p *arithParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *arithParser) peekOp(ops ...string) string {
+	p.skip()
+	for _, op := range ops {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			return op
+		}
+	}
+	return ""
+}
+
+func (p *arithParser) ternary() (int64, error) {
+	cond, err := p.logicalOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skip()
+	if p.pos < len(p.src) && p.src[p.pos] == '?' {
+		p.pos++
+		thenV, err := p.ternary()
+		if err != nil {
+			return 0, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+			return 0, fmt.Errorf("arithmetic: missing ':' in ?:")
+		}
+		p.pos++
+		elseV, err := p.ternary()
+		if err != nil {
+			return 0, err
+		}
+		if cond != 0 {
+			return thenV, nil
+		}
+		return elseV, nil
+	}
+	return cond, nil
+}
+
+func (p *arithParser) logicalOr() (int64, error) {
+	l, err := p.logicalAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.peekOp("||") != "" {
+		p.pos += 2
+		r, err := p.logicalAnd()
+		if err != nil {
+			return 0, err
+		}
+		if l != 0 || r != 0 {
+			l = 1
+		} else {
+			l = 0
+		}
+	}
+	return l, nil
+}
+
+func (p *arithParser) logicalAnd() (int64, error) {
+	l, err := p.bitOr()
+	if err != nil {
+		return 0, err
+	}
+	for p.peekOp("&&") != "" {
+		p.pos += 2
+		r, err := p.bitOr()
+		if err != nil {
+			return 0, err
+		}
+		if l != 0 && r != 0 {
+			l = 1
+		} else {
+			l = 0
+		}
+	}
+	return l, nil
+}
+
+func (p *arithParser) bitOr() (int64, error) {
+	l, err := p.bitXor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '|' && !strings.HasPrefix(p.src[p.pos:], "||") {
+			p.pos++
+			r, err := p.bitXor()
+			if err != nil {
+				return 0, err
+			}
+			l |= r
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *arithParser) bitXor() (int64, error) {
+	l, err := p.bitAnd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '^' {
+			p.pos++
+			r, err := p.bitAnd()
+			if err != nil {
+				return 0, err
+			}
+			l ^= r
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *arithParser) bitAnd() (int64, error) {
+	l, err := p.equality()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skip()
+		if p.pos < len(p.src) && p.src[p.pos] == '&' && !strings.HasPrefix(p.src[p.pos:], "&&") {
+			p.pos++
+			r, err := p.equality()
+			if err != nil {
+				return 0, err
+			}
+			l &= r
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *arithParser) equality() (int64, error) {
+	l, err := p.relational()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peekOp("==", "!=")
+		if op == "" {
+			return l, nil
+		}
+		p.pos += 2
+		r, err := p.relational()
+		if err != nil {
+			return 0, err
+		}
+		ok := l == r
+		if op == "!=" {
+			ok = !ok
+		}
+		l = boolToInt(ok)
+	}
+}
+
+func (p *arithParser) relational() (int64, error) {
+	l, err := p.shift()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peekOp("<=", ">=")
+		if op == "" {
+			// Careful not to eat shift operators.
+			if p.peekOp("<<", ">>") != "" {
+				return l, nil
+			}
+			op = p.peekOp("<", ">")
+		}
+		if op == "" {
+			return l, nil
+		}
+		p.pos += len(op)
+		r, err := p.shift()
+		if err != nil {
+			return 0, err
+		}
+		var ok bool
+		switch op {
+		case "<":
+			ok = l < r
+		case "<=":
+			ok = l <= r
+		case ">":
+			ok = l > r
+		case ">=":
+			ok = l >= r
+		}
+		l = boolToInt(ok)
+	}
+}
+
+func (p *arithParser) shift() (int64, error) {
+	l, err := p.additive()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peekOp("<<", ">>")
+		if op == "" {
+			return l, nil
+		}
+		p.pos += 2
+		r, err := p.additive()
+		if err != nil {
+			return 0, err
+		}
+		if op == "<<" {
+			l <<= uint(r)
+		} else {
+			l >>= uint(r)
+		}
+	}
+}
+
+func (p *arithParser) additive() (int64, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) {
+			return l, nil
+		}
+		c := p.src[p.pos]
+		if c != '+' && c != '-' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.multiplicative()
+		if err != nil {
+			return 0, err
+		}
+		if c == '+' {
+			l += r
+		} else {
+			l -= r
+		}
+	}
+}
+
+func (p *arithParser) multiplicative() (int64, error) {
+	l, err := p.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) {
+			return l, nil
+		}
+		c := p.src[p.pos]
+		if c != '*' && c != '/' && c != '%' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return 0, err
+		}
+		switch c {
+		case '*':
+			l *= r
+		case '/':
+			if r == 0 {
+				return 0, fmt.Errorf("arithmetic: division by zero")
+			}
+			l /= r
+		case '%':
+			if r == 0 {
+				return 0, fmt.Errorf("arithmetic: division by zero")
+			}
+			l %= r
+		}
+	}
+}
+
+func (p *arithParser) unary() (int64, error) {
+	p.skip()
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			return p.unary()
+		case '-':
+			p.pos++
+			v, err := p.unary()
+			return -v, err
+		case '!':
+			if !strings.HasPrefix(p.src[p.pos:], "!=") {
+				p.pos++
+				v, err := p.unary()
+				return boolToInt(v == 0), err
+			}
+		case '~':
+			p.pos++
+			v, err := p.unary()
+			return ^v, err
+		}
+	}
+	return p.primary()
+}
+
+func (p *arithParser) primary() (int64, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("arithmetic: unexpected end of expression")
+	}
+	c := p.src[p.pos]
+	if c == '(' {
+		p.pos++
+		v, err := p.ternary()
+		if err != nil {
+			return 0, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("arithmetic: missing )")
+		}
+		p.pos++
+		return v, nil
+	}
+	if c >= '0' && c <= '9' {
+		start := p.pos
+		// Hex, octal, or decimal.
+		if strings.HasPrefix(p.src[p.pos:], "0x") || strings.HasPrefix(p.src[p.pos:], "0X") {
+			p.pos += 2
+			for p.pos < len(p.src) && isHexDigit(p.src[p.pos]) {
+				p.pos++
+			}
+		} else {
+			for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+				p.pos++
+			}
+		}
+		v, err := strconv.ParseInt(p.src[start:p.pos], 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("arithmetic: bad number %q", p.src[start:p.pos])
+		}
+		return v, nil
+	}
+	if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '$' {
+		if c == '$' {
+			p.pos++ // bash allows $name inside $(( )); treat as name
+		}
+		start := p.pos
+		for p.pos < len(p.src) {
+			ch := p.src[p.pos]
+			if ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+				(p.pos > start && ch >= '0' && ch <= '9') {
+				p.pos++
+				continue
+			}
+			break
+		}
+		name := p.src[start:p.pos]
+		if name == "" {
+			return 0, fmt.Errorf("arithmetic: bad variable reference")
+		}
+		// Assignment operators.
+		p.skip()
+		for _, op := range []string{"+=", "-=", "*=", "/=", "%=", "="} {
+			if strings.HasPrefix(p.src[p.pos:], op) {
+				if op == "=" && strings.HasPrefix(p.src[p.pos:], "==") {
+					break
+				}
+				p.pos += len(op)
+				r, err := p.ternary()
+				if err != nil {
+					return 0, err
+				}
+				cur := p.varValue(name)
+				switch op {
+				case "=":
+					cur = r
+				case "+=":
+					cur += r
+				case "-=":
+					cur -= r
+				case "*=":
+					cur *= r
+				case "/=":
+					if r == 0 {
+						return 0, fmt.Errorf("arithmetic: division by zero")
+					}
+					cur /= r
+				case "%=":
+					if r == 0 {
+						return 0, fmt.Errorf("arithmetic: division by zero")
+					}
+					cur %= r
+				}
+				if p.assign != nil {
+					p.assign(name, strconv.FormatInt(cur, 10))
+				}
+				return cur, nil
+			}
+		}
+		return p.varValue(name), nil
+	}
+	return 0, fmt.Errorf("arithmetic: unexpected character %q", string(c))
+}
+
+func (p *arithParser) varValue(name string) int64 {
+	if p.lookup == nil {
+		return 0
+	}
+	s := strings.TrimSpace(p.lookup(name))
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

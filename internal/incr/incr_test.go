@@ -1,0 +1,201 @@
+package incr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jash/internal/dfg"
+	"jash/internal/exec"
+	"jash/internal/spec"
+	"jash/internal/vfs"
+)
+
+var lib = spec.Builtin()
+
+func graphOf(t *testing.T, stdin string, argvs ...[]string) *dfg.Graph {
+	t.Helper()
+	g, err := dfg.FromPipeline(argvs, lib, dfg.Binding{StdinFile: stdin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func envFor(fs *vfs.FS) (*exec.Env, *bytes.Buffer) {
+	var out bytes.Buffer
+	return &exec.Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""), Stdout: &out, Stderr: &out}, &out
+}
+
+func TestMemoHitOnUnchangedInput(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte("b\na\nc\n"))
+	r := NewRunner()
+	g := graphOf(t, "/in", []string{"sort"})
+
+	env, out := envFor(fs)
+	st, kind, err := r.Run(g, env)
+	if err != nil || st != 0 || kind != "miss" {
+		t.Fatalf("first run: st=%d kind=%s err=%v", st, kind, err)
+	}
+	first := out.String()
+	if first != "a\nb\nc\n" {
+		t.Fatalf("out=%q", first)
+	}
+
+	env2, out2 := envFor(fs)
+	st, kind, err = r.Run(g, env2)
+	if err != nil || st != 0 || kind != "hit" {
+		t.Fatalf("second run: st=%d kind=%s err=%v", st, kind, err)
+	}
+	if out2.String() != first {
+		t.Errorf("replayed output %q != %q", out2.String(), first)
+	}
+	if r.Stats.Hits != 1 || r.Stats.Misses != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	if r.Stats.BytesSaved != 6 {
+		t.Errorf("bytes saved = %d", r.Stats.BytesSaved)
+	}
+}
+
+func TestChangedInputInvalidates(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte("b\na\n"))
+	r := NewRunner()
+	g := graphOf(t, "/in", []string{"sort"})
+	env, _ := envFor(fs)
+	r.Run(g, env)
+	// Non-append change (first byte differs).
+	fs.WriteFile("/in", []byte("z\na\n"))
+	env2, out2 := envFor(fs)
+	_, kind, _ := r.Run(g, env2)
+	if kind != "miss" {
+		t.Errorf("kind = %s, want miss", kind)
+	}
+	if out2.String() != "a\nz\n" {
+		t.Errorf("out=%q", out2.String())
+	}
+}
+
+func TestStatelessSuffixIncrementality(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/log", []byte("keep 1\ndrop 2\nkeep 3\n"))
+	r := NewRunner()
+	g := graphOf(t, "/log", []string{"grep", "keep"}, []string{"tr", "a-z", "A-Z"})
+
+	env, out := envFor(fs)
+	_, kind, err := r.Run(g, env)
+	if err != nil || kind != "miss" {
+		t.Fatalf("first: %s %v", kind, err)
+	}
+	if out.String() != "KEEP 1\nKEEP 3\n" {
+		t.Fatalf("out=%q", out.String())
+	}
+	// Append lines: only the suffix should be processed.
+	fs.AppendFile("/log", []byte("keep 4\ndrop 5\n"))
+	env2, out2 := envFor(fs)
+	_, kind, err = r.Run(g, env2)
+	if err != nil || kind != "incremental" {
+		t.Fatalf("second: kind=%s err=%v", kind, err)
+	}
+	if out2.String() != "KEEP 1\nKEEP 3\nKEEP 4\n" {
+		t.Errorf("out=%q", out2.String())
+	}
+	if r.Stats.Incremental != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	if r.Stats.BytesSaved != int64(len("keep 1\ndrop 2\nkeep 3\n")) {
+		t.Errorf("bytes saved = %d", r.Stats.BytesSaved)
+	}
+	// Third run with no change: full hit.
+	env3, out3 := envFor(fs)
+	_, kind, _ = r.Run(g, env3)
+	if kind != "hit" || out3.String() != out2.String() {
+		t.Errorf("third: kind=%s out=%q", kind, out3.String())
+	}
+}
+
+func TestAggregatingPipelineFullyReruns(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte("b\na\n"))
+	r := NewRunner()
+	g := graphOf(t, "/in", []string{"sort"})
+	env, _ := envFor(fs)
+	r.Run(g, env)
+	fs.AppendFile("/in", []byte("0\n"))
+	env2, out2 := envFor(fs)
+	_, kind, _ := r.Run(g, env2)
+	// sort is not stateless: appending must trigger a full re-run, and
+	// the output must be globally correct (0 sorts first).
+	if kind != "miss" {
+		t.Errorf("kind = %s, want miss", kind)
+	}
+	if out2.String() != "0\na\nb\n" {
+		t.Errorf("out=%q", out2.String())
+	}
+}
+
+func TestIncrementalMatchesFullRun(t *testing.T) {
+	// Property-style: for a stateless pipeline, incremental output must
+	// equal a from-scratch run at every growth step.
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte(""))
+	r := NewRunner()
+	g := graphOf(t, "/in", []string{"grep", "-v", "skip"}, []string{"cut", "-c", "1-5"})
+	var reference []byte
+	lines := []string{"hello world", "skip me", "another line", "yes", "skip too", "final"}
+	for i, line := range lines {
+		fs.AppendFile("/in", []byte(line+"\n"))
+		env, out := envFor(fs)
+		_, _, err := r.Run(g, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: fresh runner, fresh run.
+		fresh := NewRunner()
+		envR, outR := envFor(fs)
+		fresh.Run(g, envR)
+		reference = outR.Bytes()
+		if out.String() != string(reference) {
+			t.Fatalf("step %d: incremental %q != reference %q", i, out.String(), reference)
+		}
+	}
+	if r.Stats.Incremental == 0 {
+		t.Error("no incremental executions happened")
+	}
+}
+
+func TestDifferentPipelinesDifferentEntries(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte("b\na\n"))
+	r := NewRunner()
+	g1 := graphOf(t, "/in", []string{"sort"})
+	g2 := graphOf(t, "/in", []string{"sort", "-r"})
+	env1, out1 := envFor(fs)
+	r.Run(g1, env1)
+	env2, out2 := envFor(fs)
+	r.Run(g2, env2)
+	if out1.String() == out2.String() {
+		t.Error("different pipelines returned same output")
+	}
+	if r.Cache.Len() != 2 {
+		t.Errorf("cache entries = %d", r.Cache.Len())
+	}
+}
+
+func TestFileSinkBypassesCache(t *testing.T) {
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte("x\n"))
+	r := NewRunner()
+	g, err := dfg.FromPipeline([][]string{{"sort"}}, lib, dfg.Binding{StdinFile: "/in", StdoutFile: "/out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := envFor(fs)
+	r.Run(g, env)
+	r.Run(g, env)
+	if r.Stats.Hits != 0 || r.Stats.Misses != 2 {
+		t.Errorf("file sinks must bypass the cache: %+v", r.Stats)
+	}
+}

@@ -1,0 +1,384 @@
+// Package infer learns PaSh-style command specifications by black-box
+// testing, the §4 "Heuristic support" proposal: instead of hand-writing a
+// parallelizability annotation for every command (and every user script),
+// run the command on generated inputs and check which algebraic laws hold:
+//
+//	stateless      f(A ++ B) == f(A) ++ f(B)
+//	merge-sortable f(A ++ B) == merge(f(A), f(B)) and f's output is sorted
+//	summable       f(A ++ B) == f(A) + f(B) columnwise
+//	side-effectful running f changes the filesystem
+//
+// Laws are tested on multiple random splits of multiple corpora; a law
+// must hold on every trial to be accepted. The inferred class can then be
+// compared against (or substitute for) a hand-written specification.
+package infer
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"jash/internal/coreutils"
+	"jash/internal/spec"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// Result is an inferred specification.
+type Result struct {
+	Argv  []string
+	Class spec.Class
+	Agg   spec.AggKind
+	// Evidence lists the laws tested and their outcomes.
+	Evidence []string
+	// Deterministic reports whether repeated runs agreed.
+	Deterministic bool
+}
+
+// Options tunes the inference procedure.
+type Options struct {
+	// Trials is the number of corpus/split combinations per law.
+	Trials int
+	// Seed drives corpus generation.
+	Seed uint64
+	// CorpusBytes sizes each generated corpus.
+	CorpusBytes int
+}
+
+// DefaultOptions returns the standard testing budget.
+func DefaultOptions() Options {
+	return Options{Trials: 6, Seed: 1, CorpusBytes: 4000}
+}
+
+// Infer classifies the command `argv` by behavioural testing. The command
+// must be resolvable in the coreutils registry (the paper's vision covers
+// arbitrary binaries; our hermetic registry plays that role).
+func Infer(argv []string, opts Options) (Result, error) {
+	res := Result{Argv: argv, Class: spec.Blocking, Agg: spec.AggNone}
+	if _, ok := coreutils.Lookup(argv[0]); !ok {
+		return res, fmt.Errorf("infer: command %q not available", argv[0])
+	}
+	if opts.Trials <= 0 {
+		opts = DefaultOptions()
+	}
+	corpora := makeCorpora(opts)
+
+	// Determinism.
+	res.Deterministic = true
+	for _, c := range corpora {
+		o1, _, err := runOnce(argv, c)
+		if err != nil {
+			return res, err
+		}
+		o2, _, err := runOnce(argv, c)
+		if err != nil {
+			return res, err
+		}
+		if !bytes.Equal(o1, o2) {
+			res.Deterministic = false
+			break
+		}
+	}
+	res.Evidence = append(res.Evidence, law("deterministic", res.Deterministic))
+	if !res.Deterministic {
+		return res, nil
+	}
+
+	// Side effects: did any run create or modify files?
+	dirty := false
+	for _, c := range corpora {
+		_, mutated, err := runOnce(argv, c)
+		if err != nil {
+			return res, err
+		}
+		if mutated {
+			dirty = true
+			break
+		}
+	}
+	res.Evidence = append(res.Evidence, law("pure (no filesystem writes)", !dirty))
+	if dirty {
+		res.Class = spec.SideEffectful
+		return res, nil
+	}
+
+	// Stateless law.
+	stateless := true
+	for _, c := range corpora {
+		ok, err := checkStateless(argv, c, opts)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			stateless = false
+			break
+		}
+	}
+	res.Evidence = append(res.Evidence, law("stateless: f(A++B) == f(A)++f(B)", stateless))
+	if stateless {
+		res.Class = spec.Stateless
+		res.Agg = spec.AggConcat
+		return res, nil
+	}
+
+	// Merge-sort law.
+	mergeable := true
+	for _, c := range corpora {
+		ok, err := checkMergeSortable(argv, c, opts)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			mergeable = false
+			break
+		}
+	}
+	res.Evidence = append(res.Evidence, law("merge-sortable: f(A++B) == merge(f(A), f(B))", mergeable))
+	if mergeable {
+		res.Class = spec.Parallelizable
+		res.Agg = spec.AggMergeSort
+		return res, nil
+	}
+
+	// Sum law.
+	summable := true
+	for _, c := range corpora {
+		ok, err := checkSummable(argv, c)
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			summable = false
+			break
+		}
+	}
+	res.Evidence = append(res.Evidence, law("summable: f(A++B) == f(A)+f(B)", summable))
+	if summable {
+		res.Class = spec.Parallelizable
+		res.Agg = spec.AggSum
+		return res, nil
+	}
+	res.Evidence = append(res.Evidence, "no law held: blocking")
+	return res, nil
+}
+
+func law(name string, held bool) string {
+	if held {
+		return name + ": HOLDS"
+	}
+	return name + ": violated"
+}
+
+// makeCorpora builds diverse line corpora: prose, numbers, duplicates,
+// empty lines, and a tiny one.
+func makeCorpora(opts Options) [][]byte {
+	prose := workload.Words(opts.Seed, opts.CorpusBytes)
+	rng := workload.NewRNG(opts.Seed + 99)
+	var nums strings.Builder
+	for i := 0; i < opts.CorpusBytes/8; i++ {
+		fmt.Fprintf(&nums, "%d\n", rng.Intn(500))
+	}
+	var dups strings.Builder
+	for i := 0; i < opts.CorpusBytes/12; i++ {
+		fmt.Fprintf(&dups, "dup%d\n", rng.Intn(7))
+	}
+	withEmpty := []byte("alpha\n\nbeta\n\n\ngamma\n")
+	tiny := []byte("x\n")
+	return [][]byte{prose, []byte(nums.String()), []byte(dups.String()), withEmpty, tiny}
+}
+
+// runOnce executes argv on the input and reports output and whether the
+// filesystem changed.
+func runOnce(argv []string, input []byte) ([]byte, bool, error) {
+	fs := vfs.New()
+	fs.WriteFile("/canary", []byte("canary"))
+	before := fs.TotalBytes()
+	fn, _ := coreutils.Lookup(argv[0])
+	var out bytes.Buffer
+	ctx := &coreutils.Context{
+		FS:     fs,
+		Dir:    "/",
+		Stdin:  bytes.NewReader(input),
+		Stdout: &out,
+		Stderr: &bytes.Buffer{},
+		Getenv: func(string) string { return "" },
+	}
+	fn(ctx, argv)
+	mutated := fs.TotalBytes() != before
+	if !mutated {
+		if data, err := fs.ReadFile("/canary"); err != nil || string(data) != "canary" {
+			mutated = true
+		}
+	}
+	return out.Bytes(), mutated, nil
+}
+
+// splitPoints picks line-aligned split offsets for the law tests.
+func splitPoints(input []byte, trials int, seed uint64) []int {
+	var lineStarts []int
+	for i, b := range input {
+		if b == '\n' && i+1 < len(input) {
+			lineStarts = append(lineStarts, i+1)
+		}
+	}
+	if len(lineStarts) == 0 {
+		return nil
+	}
+	rng := workload.NewRNG(seed)
+	var points []int
+	for i := 0; i < trials; i++ {
+		points = append(points, lineStarts[rng.Intn(len(lineStarts))])
+	}
+	return points
+}
+
+func checkStateless(argv []string, input []byte, opts Options) (bool, error) {
+	whole, _, err := runOnce(argv, input)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range splitPoints(input, opts.Trials, opts.Seed+7) {
+		a, _, err := runOnce(argv, input[:p])
+		if err != nil {
+			return false, err
+		}
+		b, _, err := runOnce(argv, input[p:])
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(whole, append(append([]byte(nil), a...), b...)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// mergeLines merges two sorted outputs with the plain string order. This
+// checks the default sort order; flag-specific orders (sort -rn) are
+// validated by re-running the command itself as the merger.
+func checkMergeSortable(argv []string, input []byte, opts Options) (bool, error) {
+	whole, _, err := runOnce(argv, input)
+	if err != nil {
+		return false, err
+	}
+	for _, p := range splitPoints(input, opts.Trials, opts.Seed+13) {
+		a, _, err := runOnce(argv, input[:p])
+		if err != nil {
+			return false, err
+		}
+		b, _, err := runOnce(argv, input[p:])
+		if err != nil {
+			return false, err
+		}
+		// Merge by re-running the command over the concatenated partials:
+		// for a true sorter, f(f(A) ++ f(B)) == f(A ++ B) and is a cheap
+		// stand-in for `f -m`.
+		merged, _, err := runOnce(argv, append(append([]byte(nil), a...), b...))
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(whole, merged) {
+			return false, nil
+		}
+		// A sorter is permutation-invariant: swapping the chunks must not
+		// change the result. This separates sort from head/tail/uniq,
+		// which also survive the reapply-as-combiner test.
+		swapped, _, err := runOnce(argv, append(append([]byte(nil), input[p:]...), input[:p]...))
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(whole, swapped) {
+			return false, nil
+		}
+		// And the output really is totally ordered under f's criterion:
+		// f(f(X)) == f(X).
+		again, _, err := runOnce(argv, whole)
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(again, whole) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func checkSummable(argv []string, input []byte) (bool, error) {
+	whole, _, err := runOnce(argv, input)
+	if err != nil {
+		return false, err
+	}
+	wholeVec, ok := numericVector(whole)
+	if !ok {
+		return false, nil
+	}
+	points := splitPoints(input, 3, 101)
+	for _, p := range points {
+		a, _, err := runOnce(argv, input[:p])
+		if err != nil {
+			return false, err
+		}
+		b, _, err := runOnce(argv, input[p:])
+		if err != nil {
+			return false, err
+		}
+		av, ok1 := numericVector(a)
+		bv, ok2 := numericVector(b)
+		if !ok1 || !ok2 || len(av) != len(bv) || len(av) != len(wholeVec) {
+			return false, nil
+		}
+		for i := range wholeVec {
+			if av[i]+bv[i] != wholeVec[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func numericVector(out []byte) ([]int64, bool) {
+	fields := strings.Fields(string(out))
+	if len(fields) == 0 {
+		return nil, false
+	}
+	vec := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, false
+		}
+		vec[i] = v
+	}
+	return vec, true
+}
+
+// Agreement compares inferred classes against a specification library,
+// returning per-command verdicts and the agreement ratio — the ex-infer
+// experiment's metric.
+func Agreement(lib *spec.Library, cases [][]string, opts Options) (map[string]bool, float64, error) {
+	verdicts := map[string]bool{}
+	agree := 0
+	for _, argv := range cases {
+		want := lib.Resolve(argv)
+		got, err := Infer(argv, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		key := strings.Join(argv, " ")
+		ok := got.Class == want.Class
+		// Stateless-vs-parallelizable confusion both ways still counts as
+		// disagreement; only the exact class matches.
+		verdicts[key] = ok
+		if ok {
+			agree++
+		}
+	}
+	keys := make([]string, 0, len(verdicts))
+	for k := range verdicts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return verdicts, float64(agree) / float64(len(cases)), nil
+}

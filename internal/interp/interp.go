@@ -1,0 +1,827 @@
+// Package interp is a Smoosh-style evaluator for the POSIX shell: it
+// executes the syntax package's ASTs over the hermetic VFS, dispatching
+// simple commands to builtins, shell functions, and the coreutils
+// registry. In the Jash architecture this is the "interpretation" side the
+// JIT falls back to for anything it cannot (or should not) optimize:
+// control flow, assignments, expansions with side effects.
+package interp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"strings"
+	"sync"
+
+	"jash/internal/coreutils"
+	"jash/internal/expand"
+	"jash/internal/pattern"
+	"jash/internal/syntax"
+	"jash/internal/vfs"
+)
+
+// Variable is one shell variable with its export flag.
+type Variable struct {
+	Value    string
+	Exported bool
+	ReadOnly bool
+}
+
+// Interp is a shell execution state. Create with New; copies made by
+// subshell() share the FS but nothing else.
+type Interp struct {
+	FS  *vfs.FS
+	Dir string
+
+	Vars   map[string]Variable
+	Funcs  map[string]syntax.Command
+	Params []string
+	Name0  string
+
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+
+	Status int
+	PID    int
+
+	// Options (set -e, -f, -u, -x).
+	ErrExit bool
+	NoGlob  bool
+	NoUnset bool
+	XTrace  bool
+
+	// Observer, when non-nil, sees every pipeline about to run and may
+	// handle it (returning handled=true and a status). The Jash JIT
+	// installs itself here for pipeline interposition. The invoking
+	// interpreter is passed explicitly: subshells, command substitutions,
+	// and pipeline stages run on clones whose streams, parameters, and
+	// working directory the observer must use.
+	Observer func(in *Interp, st *syntax.Stmt) (status int, handled bool)
+
+	// Exited reports that the script called exit (or tripped set -e):
+	// line-oriented drivers must stop feeding further commands.
+	Exited bool
+
+	loopDepth int
+}
+
+// New returns an interpreter over the given filesystem with standard
+// streams discarded (replace Stdin/Stdout/Stderr as needed).
+func New(fs *vfs.FS) *Interp {
+	return &Interp{
+		FS:     fs,
+		Dir:    "/",
+		Vars:   map[string]Variable{},
+		Funcs:  map[string]syntax.Command{},
+		Name0:  "jash",
+		Stdin:  strings.NewReader(""),
+		Stdout: io.Discard,
+		Stderr: io.Discard,
+		PID:    1000,
+	}
+}
+
+// lockedWriter serializes concurrent pipeline-stage writes to a shared
+// stream.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// control-flow signals, delivered as errors through the evaluator.
+type exitSignal struct{ status int }
+type returnSignal struct{ status int }
+type breakSignal struct{ levels int }
+type continueSignal struct{ levels int }
+type fatalError struct{ err error }
+
+func (exitSignal) Error() string     { return "exit" }
+func (returnSignal) Error() string   { return "return" }
+func (breakSignal) Error() string    { return "break" }
+func (continueSignal) Error() string { return "continue" }
+func (f fatalError) Error() string   { return f.err.Error() }
+
+// RunScript parses and runs a whole script, returning its exit status.
+func (in *Interp) RunScript(src string) (int, error) {
+	script, err := syntax.Parse(src)
+	if err != nil {
+		return 2, err
+	}
+	return in.RunStmts(script.Stmts)
+}
+
+// RunStmts runs a statement list, returning the final exit status.
+func (in *Interp) RunStmts(stmts []*syntax.Stmt) (status int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch sig := r.(type) {
+			case exitSignal:
+				status = sig.status
+				in.Status = sig.status
+				in.Exited = true
+			case fatalError:
+				status = 2
+				in.Status = 2
+				err = sig.err
+			default:
+				panic(r)
+			}
+		}
+	}()
+	for _, st := range stmts {
+		in.stmt(st)
+	}
+	return in.Status, nil
+}
+
+// Getenv looks up a variable's value (exported or not — the hermetic
+// environment does not distinguish for lookups).
+func (in *Interp) Getenv(name string) string {
+	return in.Vars[name].Value
+}
+
+// Setenv sets a variable.
+func (in *Interp) Setenv(name, value string) {
+	v := in.Vars[name]
+	v.Value = value
+	in.Vars[name] = v
+}
+
+// Environ lists exported NAME=VALUE pairs.
+func (in *Interp) Environ() []string {
+	var out []string
+	for name, v := range in.Vars {
+		if v.Exported {
+			out = append(out, name+"="+v.Value)
+		}
+	}
+	return out
+}
+
+// expander builds an expand.Expander over the current state.
+func (in *Interp) expander() *expand.Expander {
+	return &expand.Expander{
+		Lookup: func(name string) (string, bool) {
+			v, ok := in.Vars[name]
+			return v.Value, ok
+		},
+		Set:      in.Setenv,
+		Params:   in.Params,
+		Name0:    in.Name0,
+		Status:   in.Status,
+		PID:      in.PID,
+		FS:       in.FS,
+		Dir:      in.Dir,
+		NoGlob:   in.NoGlob,
+		NoUnset:  in.NoUnset,
+		CmdSubst: in.cmdSubst,
+	}
+}
+
+// cmdSubst runs a command substitution body in a subshell, capturing its
+// stdout. The exit status becomes the parent's $?.
+func (in *Interp) cmdSubst(stmts []*syntax.Stmt) (string, error) {
+	sub := in.subshell()
+	var buf bytes.Buffer
+	sub.Stdout = &buf
+	status, err := sub.RunStmts(stmts)
+	if err != nil {
+		return "", err
+	}
+	in.Status = status
+	return buf.String(), nil
+}
+
+// subshell clones the interpreter state; mutations do not escape.
+func (in *Interp) subshell() *Interp {
+	vars := make(map[string]Variable, len(in.Vars))
+	for k, v := range in.Vars {
+		vars[k] = v
+	}
+	funcs := make(map[string]syntax.Command, len(in.Funcs))
+	for k, v := range in.Funcs {
+		funcs[k] = v
+	}
+	params := append([]string(nil), in.Params...)
+	return &Interp{
+		FS: in.FS, Dir: in.Dir,
+		Vars: vars, Funcs: funcs, Params: params, Name0: in.Name0,
+		Stdin: in.Stdin, Stdout: in.Stdout, Stderr: in.Stderr,
+		Status: in.Status, PID: in.PID + 1,
+		ErrExit: in.ErrExit, NoGlob: in.NoGlob, NoUnset: in.NoUnset,
+		Observer: in.Observer,
+	}
+}
+
+func (in *Interp) fatalf(format string, args ...any) {
+	panic(fatalError{fmt.Errorf(format, args...)})
+}
+
+// stmt runs one statement. Background statements run to completion too —
+// the interpreter is deterministic and has no job control — but their
+// status does not become $?.
+func (in *Interp) stmt(st *syntax.Stmt) {
+	if st.Background {
+		saved := in.Status
+		in.andOr(st.AndOr)
+		in.Status = saved
+		return
+	}
+	in.andOr(st.AndOr)
+}
+
+func (in *Interp) andOr(ao *syntax.AndOr) {
+	in.pipeline(ao.First, len(ao.Rest) > 0)
+	for i, part := range ao.Rest {
+		if part.Op == syntax.AndOp && in.Status != 0 {
+			continue
+		}
+		if part.Op == syntax.OrOp && in.Status == 0 {
+			continue
+		}
+		guarded := i < len(ao.Rest)-1
+		in.pipeline(part.Pipe, guarded)
+	}
+}
+
+// pipeline runs a (possibly negated, possibly multi-stage) pipeline.
+// guarded suppresses set -e (the pipeline feeds && / ||).
+func (in *Interp) pipeline(pl *syntax.Pipeline, guarded bool) {
+	if in.Observer != nil && !pl.Negated && len(pl.Cmds) >= 1 {
+		// Offer whole pipelines to the observer (the JIT) first.
+		st := &syntax.Stmt{AndOr: &syntax.AndOr{First: pl}, Position: pl.Position}
+		if status, handled := in.Observer(in, st); handled {
+			in.Status = status
+			in.maybeErrExit(guarded || pl.Negated)
+			return
+		}
+	}
+	if len(pl.Cmds) == 1 {
+		in.command(pl.Cmds[0], nil)
+	} else {
+		in.runPipes(pl.Cmds)
+	}
+	if pl.Negated {
+		if in.Status == 0 {
+			in.Status = 1
+		} else {
+			in.Status = 0
+		}
+	}
+	in.maybeErrExit(guarded || pl.Negated)
+}
+
+func (in *Interp) maybeErrExit(guarded bool) {
+	if in.ErrExit && !guarded && in.Status != 0 {
+		panic(exitSignal{in.Status})
+	}
+}
+
+// runPipes wires the stages with in-memory pipes and runs each stage in a
+// subshell goroutine. The pipeline's status is the last stage's status.
+// Stage goroutines share the pipeline's stderr (and the last stage its
+// stdout), so both go through one lock.
+func (in *Interp) runPipes(cmds []syntax.Command) {
+	n := len(cmds)
+	var outMu sync.Mutex
+	sharedErr := &lockedWriter{mu: &outMu, w: in.Stderr}
+	sharedOut := &lockedWriter{mu: &outMu, w: in.Stdout}
+	readers := make([]io.Reader, n)
+	writers := make([]io.WriteCloser, n)
+	readers[0] = in.Stdin
+	for i := 0; i < n-1; i++ {
+		pr, pw := io.Pipe()
+		writers[i] = pw
+		readers[i+1] = pr
+	}
+	var wg sync.WaitGroup
+	var lastStatus int
+	for i, cmd := range cmds {
+		wg.Add(1)
+		go func(i int, cmd syntax.Command) {
+			defer wg.Done()
+			sub := in.subshell()
+			sub.Stdin = readers[i]
+			sub.Stderr = sharedErr
+			if i < n-1 {
+				sub.Stdout = writers[i]
+			} else {
+				sub.Stdout = sharedOut
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					if sig, ok := r.(exitSignal); ok {
+						sub.Status = sig.status
+					} else if _, ok := r.(fatalError); ok {
+						sub.Status = 2
+					} else {
+						panic(r)
+					}
+				}
+				if i < n-1 {
+					writers[i].Close()
+				}
+				if i > 0 {
+					// Signal upstream we are done reading.
+					if pr, ok := readers[i].(*io.PipeReader); ok {
+						pr.Close()
+					}
+				}
+				if i == n-1 {
+					lastStatus = sub.Status
+				}
+			}()
+			sub.command(cmd, nil)
+		}(i, cmd)
+	}
+	wg.Wait()
+	in.Status = lastStatus
+}
+
+// command dispatches any command node with optional extra redirections.
+func (in *Interp) command(cmd syntax.Command, extraRedirs []*syntax.Redirect) {
+	redirs := append(append([]*syntax.Redirect(nil), cmd.Redirs()...), extraRedirs...)
+	switch c := cmd.(type) {
+	case *syntax.SimpleCommand:
+		in.simpleCommand(c)
+	case *syntax.Subshell:
+		sub := in.subshell()
+		cleanup, ok := sub.applyRedirs(redirs)
+		if !ok {
+			in.Status = 1
+			return
+		}
+		status, err := sub.RunStmts(c.Body)
+		cleanup()
+		if err != nil {
+			panic(fatalError{err})
+		}
+		in.Status = status
+	case *syntax.BraceGroup:
+		in.withRedirs(redirs, func() {
+			for _, st := range c.Body {
+				in.stmt(st)
+			}
+		})
+	case *syntax.IfClause:
+		in.withRedirs(redirs, func() { in.ifClause(c) })
+	case *syntax.WhileClause:
+		in.withRedirs(redirs, func() { in.whileClause(c) })
+	case *syntax.ForClause:
+		in.withRedirs(redirs, func() { in.forClause(c) })
+	case *syntax.CaseClause:
+		in.withRedirs(redirs, func() { in.caseClause(c) })
+	case *syntax.FuncDecl:
+		in.Funcs[c.Name] = c.Body
+		in.Status = 0
+	default:
+		in.fatalf("unknown command node %T", cmd)
+	}
+}
+
+func (in *Interp) ifClause(c *syntax.IfClause) {
+	in.runCond(c.Cond)
+	if in.Status == 0 {
+		in.runList(c.Then)
+		return
+	}
+	if len(c.Else) > 0 {
+		in.runList(c.Else)
+		return
+	}
+	in.Status = 0
+}
+
+func (in *Interp) runList(stmts []*syntax.Stmt) {
+	for _, st := range stmts {
+		in.stmt(st)
+	}
+	if len(stmts) == 0 {
+		in.Status = 0
+	}
+}
+
+// runCond runs a loop/if condition list without tripping set -e.
+func (in *Interp) runCond(stmts []*syntax.Stmt) {
+	saved := in.ErrExit
+	in.ErrExit = false
+	in.runList(stmts)
+	in.ErrExit = saved
+}
+
+const maxLoopIterations = 10_000_000 // guard against runaway scripts in tests
+
+func (in *Interp) whileClause(c *syntax.WhileClause) {
+	in.loopDepth++
+	defer func() { in.loopDepth-- }()
+	iterations := 0
+	for {
+		in.runCond(c.Cond)
+		ok := in.Status == 0
+		if c.Until {
+			ok = !ok
+		}
+		if !ok {
+			in.Status = 0
+			return
+		}
+		if stop := in.loopBody(c.Body); stop {
+			return
+		}
+		iterations++
+		if iterations > maxLoopIterations {
+			in.fatalf("loop exceeded %d iterations", maxLoopIterations)
+		}
+	}
+}
+
+// loopBody runs a loop body, translating break/continue signals.
+// It returns true when the loop should stop.
+func (in *Interp) loopBody(body []*syntax.Stmt) (stop bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch sig := r.(type) {
+			case breakSignal:
+				stop = true
+				if sig.levels > 1 {
+					panic(breakSignal{sig.levels - 1})
+				}
+			case continueSignal:
+				if sig.levels > 1 {
+					panic(continueSignal{sig.levels - 1})
+				}
+			default:
+				panic(r)
+			}
+		}
+	}()
+	in.runList(body)
+	return false
+}
+
+func (in *Interp) forClause(c *syntax.ForClause) {
+	var items []string
+	if c.InPresent {
+		fields, err := in.expander().ExpandWords(c.Words)
+		if err != nil {
+			in.expandFail(err)
+			return
+		}
+		items = fields
+	} else {
+		items = append([]string(nil), in.Params...)
+	}
+	in.loopDepth++
+	defer func() { in.loopDepth-- }()
+	for _, item := range items {
+		in.Setenv(c.Name, item)
+		if stop := in.loopBody(c.Body); stop {
+			return
+		}
+	}
+	if len(items) == 0 {
+		in.Status = 0
+	}
+}
+
+func (in *Interp) caseClause(c *syntax.CaseClause) {
+	x := in.expander()
+	word, err := x.ExpandString(c.Word)
+	if err != nil {
+		in.expandFail(err)
+		return
+	}
+	in.Status = 0
+	for _, item := range c.Items {
+		for _, patWord := range item.Patterns {
+			pat, err := x.ExpandPattern(patWord)
+			if err != nil {
+				in.expandFail(err)
+				return
+			}
+			if pattern.Match(pat, word) {
+				in.runList(item.Body)
+				return
+			}
+		}
+	}
+}
+
+// expandFail reports an expansion error; fatal ones abort the script.
+func (in *Interp) expandFail(err error) {
+	fmt.Fprintf(in.Stderr, "jash: %v\n", err)
+	var ee *expand.ExpandError
+	if errors.As(err, &ee) && ee.Fatal {
+		panic(exitSignal{1})
+	}
+	in.Status = 1
+}
+
+// simpleCommand: expand, apply assignments and redirections, dispatch.
+func (in *Interp) simpleCommand(c *syntax.SimpleCommand) {
+	x := in.expander()
+	// Assignment-only command: assignments persist.
+	if len(c.Args) == 0 {
+		for _, a := range c.Assigns {
+			val, err := x.ExpandString(a.Value)
+			if err != nil {
+				in.expandFail(err)
+				return
+			}
+			if v := in.Vars[a.Name]; v.ReadOnly {
+				// POSIX: assigning to a readonly variable is an error that
+				// aborts a non-interactive shell.
+				fmt.Fprintf(in.Stderr, "jash: %s: readonly variable\n", a.Name)
+				panic(exitSignal{1})
+			}
+			in.Setenv(a.Name, val)
+		}
+		// Redirections still apply (for their side effects, e.g. >file).
+		cleanup, ok := in.applyRedirs(c.Redirections)
+		if ok {
+			cleanup()
+		}
+		if len(c.Assigns) > 0 || ok {
+			in.Status = 0
+		}
+		return
+	}
+	fields, err := x.ExpandWords(c.Args)
+	if err != nil {
+		in.expandFail(err)
+		return
+	}
+	if len(fields) == 0 {
+		in.Status = 0
+		return
+	}
+	if in.XTrace {
+		fmt.Fprintf(in.Stderr, "+ %s\n", strings.Join(fields, " "))
+	}
+	// Temporary assignments for the command's duration.
+	var savedVars map[string]*Variable
+	if len(c.Assigns) > 0 {
+		savedVars = map[string]*Variable{}
+		for _, a := range c.Assigns {
+			val, err := x.ExpandString(a.Value)
+			if err != nil {
+				in.expandFail(err)
+				return
+			}
+			if old, ok := in.Vars[a.Name]; ok {
+				saved := old
+				savedVars[a.Name] = &saved
+			} else {
+				savedVars[a.Name] = nil
+			}
+			in.Vars[a.Name] = Variable{Value: val, Exported: true}
+		}
+	}
+	restoreVars := func() {
+		for name, old := range savedVars {
+			if old == nil {
+				delete(in.Vars, name)
+			} else {
+				in.Vars[name] = *old
+			}
+		}
+	}
+	in.withRedirs(c.Redirections, func() {
+		in.dispatch(fields)
+	})
+	restoreVars()
+}
+
+// dispatch runs an expanded command: special builtins, functions, then
+// the coreutils registry.
+func (in *Interp) dispatch(fields []string) {
+	name := fields[0]
+	if fn, ok := builtins[name]; ok {
+		in.Status = fn(in, fields)
+		return
+	}
+	if body, ok := in.Funcs[name]; ok {
+		in.callFunction(body, fields)
+		return
+	}
+	if fn, ok := coreutils.Lookup(name); ok {
+		ctx := &coreutils.Context{
+			FS:      in.FS,
+			Dir:     in.Dir,
+			Stdin:   in.Stdin,
+			Stdout:  in.Stdout,
+			Stderr:  in.Stderr,
+			Getenv:  in.Getenv,
+			Environ: in.Environ,
+		}
+		in.Status = fn(ctx, fields)
+		return
+	}
+	fmt.Fprintf(in.Stderr, "jash: %s: command not found\n", name)
+	in.Status = 127
+}
+
+func (in *Interp) callFunction(body syntax.Command, fields []string) {
+	savedParams := in.Params
+	in.Params = fields[1:]
+	defer func() {
+		in.Params = savedParams
+		if r := recover(); r != nil {
+			if sig, ok := r.(returnSignal); ok {
+				in.Status = sig.status
+				return
+			}
+			panic(r)
+		}
+	}()
+	in.command(body, nil)
+}
+
+// withRedirs applies redirections around f, restoring streams afterwards.
+func (in *Interp) withRedirs(redirs []*syntax.Redirect, f func()) {
+	if len(redirs) == 0 {
+		f()
+		return
+	}
+	cleanup, ok := in.applyRedirs(redirs)
+	if !ok {
+		in.Status = 1
+		return
+	}
+	defer cleanup()
+	f()
+}
+
+// applyRedirs mutates the interpreter's streams per the redirections and
+// returns a cleanup function restoring them (and flushing outputs).
+func (in *Interp) applyRedirs(redirs []*syntax.Redirect) (func(), bool) {
+	savedIn, savedOut, savedErr := in.Stdin, in.Stdout, in.Stderr
+	var closers []io.Closer
+	cleanup := func() {
+		for _, cl := range closers {
+			cl.Close()
+		}
+		in.Stdin, in.Stdout, in.Stderr = savedIn, savedOut, savedErr
+	}
+	x := in.expander()
+	fdWriter := func(fd int) io.Writer {
+		if fd == 2 {
+			return in.Stderr
+		}
+		return in.Stdout
+	}
+	setWriter := func(fd int, w io.Writer) {
+		if fd == 2 {
+			in.Stderr = w
+		} else {
+			in.Stdout = w
+		}
+	}
+	for _, r := range redirs {
+		fd := r.DefaultFD()
+		switch r.Op {
+		case syntax.RedirIn:
+			target, err := x.ExpandString(r.Target)
+			if err != nil {
+				in.expandFail(err)
+				cleanup()
+				return nil, false
+			}
+			rc, err := in.FS.Open(in.lookPath(target))
+			if err != nil {
+				fmt.Fprintf(in.Stderr, "jash: %s: %v\n", target, err)
+				cleanup()
+				return nil, false
+			}
+			closers = append(closers, rc)
+			in.Stdin = rc
+		case syntax.RedirOut, syntax.RedirClobber, syntax.RedirAppend:
+			target, err := x.ExpandString(r.Target)
+			if err != nil {
+				in.expandFail(err)
+				cleanup()
+				return nil, false
+			}
+			var w io.WriteCloser
+			if r.Op == syntax.RedirAppend {
+				w, err = in.FS.Append(in.lookPath(target))
+			} else {
+				w, err = in.FS.Create(in.lookPath(target))
+			}
+			if err != nil {
+				fmt.Fprintf(in.Stderr, "jash: %s: %v\n", target, err)
+				cleanup()
+				return nil, false
+			}
+			closers = append(closers, w)
+			setWriter(fd, w)
+		case syntax.RedirHeredoc, syntax.RedirHeredocDash:
+			body := r.Heredoc
+			if !r.Quoted {
+				expanded, err := in.expandHeredoc(body)
+				if err != nil {
+					in.expandFail(err)
+					cleanup()
+					return nil, false
+				}
+				body = expanded
+			}
+			in.Stdin = strings.NewReader(body)
+		case syntax.RedirDupOut:
+			target, err := x.ExpandString(r.Target)
+			if err != nil {
+				in.expandFail(err)
+				cleanup()
+				return nil, false
+			}
+			switch target {
+			case "1":
+				setWriter(fd, in.Stdout)
+			case "2":
+				setWriter(fd, in.Stderr)
+			case "-":
+				setWriter(fd, io.Discard)
+			default:
+				fmt.Fprintf(in.Stderr, "jash: bad fd %q\n", target)
+				cleanup()
+				return nil, false
+			}
+			_ = fdWriter
+		case syntax.RedirDupIn:
+			target, _ := x.ExpandString(r.Target)
+			if target == "-" {
+				in.Stdin = strings.NewReader("")
+			}
+		case syntax.RedirInOut:
+			target, err := x.ExpandString(r.Target)
+			if err != nil {
+				in.expandFail(err)
+				cleanup()
+				return nil, false
+			}
+			p := in.lookPath(target)
+			if !in.FS.Exists(p) {
+				in.FS.WriteFile(p, nil)
+			}
+			// Open read-write without truncation. With the default fd 0
+			// the command sees the file on stdin; on fd 1/2 it appends.
+			if fd == 0 {
+				rc, err := in.FS.Open(p)
+				if err == nil {
+					closers = append(closers, rc)
+					in.Stdin = rc
+				}
+			} else {
+				w, err := in.FS.Append(p)
+				if err == nil {
+					closers = append(closers, w)
+					setWriter(fd, w)
+				}
+			}
+		}
+	}
+	return cleanup, true
+}
+
+// expandHeredoc expands $var, ${...}, $(...) and $((...)) inside an
+// unquoted here-document body.
+func (in *Interp) expandHeredoc(body string) (string, error) {
+	// Parse the body as the inside of a double-quoted string by wrapping:
+	// escape existing double quotes and backslashes not already escapes.
+	var quoted strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '"' {
+			quoted.WriteString("\\\"")
+			continue
+		}
+		quoted.WriteByte(c)
+	}
+	src := "echo \"" + quoted.String() + "\""
+	script, err := syntax.Parse(src)
+	if err != nil {
+		return body, nil // fall back to the raw body on parse trouble
+	}
+	sc := script.Stmts[0].AndOr.First.Cmds[0].(*syntax.SimpleCommand)
+	if len(sc.Args) < 2 {
+		return "", nil
+	}
+	return in.expander().ExpandString(sc.Args[1])
+}
+
+// lookPath resolves a possibly-relative path against the working dir.
+func (in *Interp) lookPath(p string) string {
+	if path.IsAbs(p) {
+		return path.Clean(p)
+	}
+	return path.Join(in.Dir, p)
+}

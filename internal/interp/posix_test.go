@@ -1,0 +1,96 @@
+package interp
+
+import (
+	"testing"
+
+	"jash/internal/vfs"
+)
+
+// TestPOSIXConformance is a Smoosh-style table of single-construct
+// behaviours drawn from POSIX.1-2017 §2 (and checked against dash where
+// the standard is loose). One row per rule keeps failures diagnosable.
+func TestPOSIXConformance(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		out  string
+	}{
+		// §2.2 Quoting
+		{"backslash-preserves-literal", `echo a\$b`, "a$b\n"},
+		{"single-quotes-inert", `echo '$(ls) ${x} \'`, "$(ls) ${x} \\\n"},
+		{"double-quote-escapes", "echo \"\\$x \\\" \\\\\"", "$x \" \\\n"},
+		{"double-quote-keeps-other-backslash", `echo "a\nb"`, "a\\nb\n"},
+		{"adjacent-quoting-concatenates", `echo 'a'"b"c`, "abc\n"},
+		// §2.5.2 Special parameters
+		{"hash-counts-params", "set -- a b c; echo $#", "3\n"},
+		{"star-joins-with-space", `set -- x y; echo "$*"`, "x y\n"},
+		{"at-preserves-fields", `set -- "a b" c; for w in "$@"; do echo [$w]; done`, "[a b]\n[c]\n"},
+		{"question-is-last-status", "true; echo $?; false; echo $?", "0\n1\n"},
+		{"zero-is-shell-name", "echo $0", "jash\n"},
+		// §2.6.2 Parameter expansion
+		{"use-default-unset", "echo ${x-default}", "default\n"},
+		{"use-default-null-no-colon", `x=""; echo [${x-default}]`, "[]\n"},
+		{"use-default-null-colon", `x=""; echo ${x:-default}`, "default\n"},
+		{"assign-default-persists", "echo ${x:=v1}; echo $x", "v1\nv1\n"},
+		{"alternative-set", "x=1; echo ${x:+alt}", "alt\n"},
+		{"alternative-unset", "echo [${x:+alt}]", "[]\n"},
+		{"string-length", "x=hello; echo ${#x}", "5\n"},
+		{"remove-smallest-suffix", "x=a.b.c; echo ${x%.*}", "a.b\n"},
+		{"remove-largest-suffix", "x=a.b.c; echo ${x%%.*}", "a\n"},
+		{"remove-smallest-prefix", "x=a.b.c; echo ${x#*.}", "b.c\n"},
+		{"remove-largest-prefix", "x=a.b.c; echo ${x##*.}", "c\n"},
+		// §2.6.3 Command substitution
+		{"subst-strips-trailing-newlines", "x=$(printf 'v\\n\\n\\n'); echo [$x]", "[v]\n"},
+		{"subst-nests", "echo $(echo $(echo deep))", "deep\n"},
+		// §2.6.4 Arithmetic expansion
+		{"arith-precedence", "echo $((2+3*4))", "14\n"},
+		{"arith-variables-bare", "x=7; echo $((x*2))", "14\n"},
+		{"arith-octal-hex", "echo $((010)) $((0x10))", "8 16\n"},
+		// §2.6.5 Field splitting
+		// dash agrees: ws in the value breaks fields around the literals.
+		{"default-ifs-collapses", `x="  a   b "; echo [$x]`, "[ a b ]\n"},
+		{"custom-ifs-empty-fields", `IFS=:; x="a::b"; set -- $x; echo $#`, "3\n"},
+		// §2.6.7 Quote removal happens last
+		{"quote-removal-after-expansion", `x='"v"'; echo $x`, "\"v\"\n"},
+		// §2.7 Redirection
+		{"stdout-then-dup", "{ echo o; echo e >&2; } 2>&1 | sort", "e\no\n"},
+		{"heredoc-expands", "x=5; cat <<E\nv=$x\nE", "v=5\n"},
+		{"heredoc-quoted-delim-inert", "x=5; cat <<'E'\nv=$x\nE", "v=$x\n"},
+		// §2.8.2 exit status
+		{"negation-flips", "! false; echo $?", "0\n"},
+		{"andor-left-assoc", "false && echo a || echo b", "b\n"},
+		{"if-status-zero-when-no-branch", "if false; then echo x; fi; echo $?", "0\n"},
+		// §2.9.1 simple commands: assignments first
+		{"assignment-before-command-env", "x=1 env | grep -c '^x=1'", "1\n"},
+		{"assignment-only-persists", "x=2; echo $x", "2\n"},
+		// §2.9.4 compound commands
+		{"subshell-isolates", "x=1; (x=2); echo $x", "1\n"},
+		{"brace-group-shares", "x=1; { x=2; }; echo $x", "2\n"},
+		{"for-default-in-params", `set -- p q; for v; do echo $v; done`, "p\nq\n"},
+		{"while-untaken-zero-status", "while false; do echo no; done; echo $?", "0\n"},
+		{"case-first-match", "case x in x) echo one ;; x) echo two ;; esac", "one\n"},
+		{"case-pattern-expansion", `p='x'; case x in $p) echo m ;; esac`, "m\n"},
+		// §2.9.5 functions
+		{"function-positional", "f() { echo $1:$2; }; f a b", "a:b\n"},
+		{"function-return-status", "f() { return 5; }; f; echo $?", "5\n"},
+		// §2.14 special builtins
+		{"colon-is-true", ": ignored args; echo $?", "0\n"},
+		{"shift-drops", "set -- a b c; shift; echo $*", "b c\n"},
+		{"eval-rescans", `c='echo hi'; eval "$c there"`, "hi there\n"},
+		{"unset-removes", "x=1; unset x; echo ${x-gone}", "gone\n"},
+		// tilde
+		{"tilde-expands-home", "HOME=/h; echo ~", "/h\n"},
+		{"tilde-quoted-inert", `HOME=/h; echo "~"`, "~\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, errs, status := runScript(t, vfs.New(), c.src)
+			if out != c.out {
+				t.Errorf("%q:\n got %q\nwant %q\nstderr %q", c.src, out, c.out, errs)
+			}
+			if status != 0 {
+				t.Errorf("%q: status %d, stderr %q", c.src, status, errs)
+			}
+		})
+	}
+}

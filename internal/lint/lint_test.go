@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func findings(t *testing.T, src string) []Finding {
+	t.Helper()
+	return New().LintSource(src)
+}
+
+func hasCode(fs []Finding, code string) bool {
+	for _, f := range fs {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func codesOf(fs []Finding) string {
+	var cs []string
+	for _, f := range fs {
+		cs = append(cs, f.Code)
+	}
+	return strings.Join(cs, ",")
+}
+
+func TestSyntaxErrorReported(t *testing.T) {
+	fs := findings(t, "echo 'unterminated")
+	if len(fs) != 1 || fs[0].Code != "JSH000" || fs[0].Severity != Error {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestDangerousRm(t *testing.T) {
+	fs := findings(t, "rm -rf $BUILD_DIR")
+	if !hasCode(fs, "JSH201") {
+		t.Errorf("rm -rf $VAR not flagged: %s", codesOf(fs))
+	}
+	var f Finding
+	for _, c := range fs {
+		if c.Code == "JSH201" {
+			f = c
+		}
+	}
+	if f.Severity != Error {
+		t.Errorf("rm -rf severity = %v, want error", f.Severity)
+	}
+	// Non-recursive rm: warning, not error.
+	fs = findings(t, "rm $FILE")
+	for _, c := range fs {
+		if c.Code == "JSH201" && c.Severity != Warning {
+			t.Errorf("rm severity = %v, want warning", c.Severity)
+		}
+	}
+	// Quoted: clean.
+	fs = findings(t, `rm -rf "$BUILD_DIR"`)
+	if hasCode(fs, "JSH201") {
+		t.Errorf("quoted rm flagged: %s", codesOf(fs))
+	}
+}
+
+func TestUnquotedExpansion(t *testing.T) {
+	fs := findings(t, "cp $SRC $DST")
+	count := 0
+	for _, f := range fs {
+		if f.Code == "JSH202" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("JSH202 count = %d, want 2: %s", count, codesOf(fs))
+	}
+	if fs := findings(t, `cp "$SRC" "$DST"`); hasCode(fs, "JSH202") {
+		t.Error("quoted args flagged")
+	}
+	if fs := findings(t, "echo plain words"); hasCode(fs, "JSH202") {
+		t.Error("literals flagged")
+	}
+}
+
+func TestUnquotedTestOperand(t *testing.T) {
+	fs := findings(t, `if [ $x = yes ]; then echo y; fi`)
+	if !hasCode(fs, "JSH203") {
+		t.Errorf("unquoted test operand not flagged: %s", codesOf(fs))
+	}
+	fs = findings(t, `if [ "$x" = yes ]; then echo y; fi`)
+	if hasCode(fs, "JSH203") {
+		t.Error("quoted test operand flagged")
+	}
+}
+
+func TestSpacedAssignment(t *testing.T) {
+	fs := findings(t, "x = 1")
+	if !hasCode(fs, "JSH204") {
+		t.Errorf("x = 1 not flagged: %s", codesOf(fs))
+	}
+	if fs := findings(t, "x=1"); hasCode(fs, "JSH204") {
+		t.Error("real assignment flagged")
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	fs := findings(t, "sort -z file.txt")
+	if !hasCode(fs, "JSH205") {
+		t.Errorf("sort -z not flagged: %s", codesOf(fs))
+	}
+	if fs := findings(t, "sort -rn file.txt"); hasCode(fs, "JSH205") {
+		t.Errorf("valid sort flags flagged: %s", codesOf(fs))
+	}
+	// Value flags consume the rest of the cluster.
+	if fs := findings(t, "sort -k2 file.txt"); hasCode(fs, "JSH205") {
+		t.Errorf("sort -k2 flagged: %s", codesOf(fs))
+	}
+}
+
+func TestReadWithoutR(t *testing.T) {
+	fs := findings(t, "read line")
+	if !hasCode(fs, "JSH206") {
+		t.Errorf("read without -r not flagged: %s", codesOf(fs))
+	}
+	if fs := findings(t, "read -r line"); hasCode(fs, "JSH206") {
+		t.Error("read -r flagged")
+	}
+}
+
+func TestUselessCat(t *testing.T) {
+	fs := findings(t, "cat file.txt | grep pattern")
+	if !hasCode(fs, "JSH301") {
+		t.Errorf("useless cat not flagged: %s", codesOf(fs))
+	}
+	// cat with multiple files is not useless.
+	if fs := findings(t, "cat a b | grep x"); hasCode(fs, "JSH301") {
+		t.Error("multi-file cat flagged")
+	}
+	// cat -n is not useless.
+	if fs := findings(t, "cat -n f | grep x"); hasCode(fs, "JSH301") {
+		t.Error("cat -n flagged")
+	}
+}
+
+func TestPipedWhileSubshell(t *testing.T) {
+	fs := findings(t, "grep x f | while read l; do count=$((count+1)); done; echo $count")
+	if !hasCode(fs, "JSH302") {
+		t.Errorf("piped while assignment not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestForOverLs(t *testing.T) {
+	fs := findings(t, "for f in $(ls /tmp); do echo $f; done")
+	if !hasCode(fs, "JSH303") {
+		t.Errorf("for over ls not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestBackquoteStyle(t *testing.T) {
+	fs := findings(t, "x=`date`")
+	if !hasCode(fs, "JSH101") {
+		t.Errorf("backquotes not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestCleanScriptHasNoFindings(t *testing.T) {
+	src := `set -e
+DIR="/data"
+for f in "$DIR"/*.txt; do
+  grep -c pattern "$f" >>counts.txt
+done
+sort -rn counts.txt | head -n5
+`
+	fs := findings(t, src)
+	if len(fs) != 0 {
+		t.Errorf("clean script produced findings: %v", fs)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	fs := findings(t, "rm $A\ncp $B $C\n")
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Pos.Line < fs[i-1].Pos.Line {
+			t.Errorf("findings unsorted: %v", fs)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	fs := findings(t, "rm -rf $X")
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	s := fs[0].String()
+	if !strings.Contains(s, "JSH") || !strings.Contains(s, ":") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestUnguardedCd(t *testing.T) {
+	fs := findings(t, "cd /build\nrm -rf output\n")
+	if !hasCode(fs, "JSH207") {
+		t.Errorf("unguarded cd not flagged: %s", codesOf(fs))
+	}
+	for _, clean := range []string{
+		"cd /build || exit 1\nrm -rf output\n",
+		"set -e\ncd /build\nrm -rf output\n",
+		"cd /build && make\n",
+		"echo done\ncd /tmp\n", // cd is last: nothing depends on it
+	} {
+		if fs := findings(t, clean); hasCode(fs, "JSH207") {
+			t.Errorf("guarded cd flagged in %q: %s", clean, codesOf(fs))
+		}
+	}
+}
+
+func TestInputClobber(t *testing.T) {
+	fs := findings(t, "sort data.txt >data.txt")
+	if !hasCode(fs, "JSH304") {
+		t.Errorf("sort f >f not flagged: %s", codesOf(fs))
+	}
+	fs = findings(t, "sed s/a/b/ notes.txt >notes.txt")
+	if !hasCode(fs, "JSH304") {
+		t.Errorf("sed f >f not flagged: %s", codesOf(fs))
+	}
+	if fs := findings(t, "sort data.txt >sorted.txt"); hasCode(fs, "JSH304") {
+		t.Errorf("distinct output flagged: %s", codesOf(fs))
+	}
+	if fs := findings(t, "sort data.txt >>data.txt"); hasCode(fs, "JSH304") {
+		t.Errorf("append flagged (not a truncation): %s", codesOf(fs))
+	}
+}

@@ -1,0 +1,331 @@
+package spec
+
+import "strings"
+
+// Builtin returns the ground-truth specification library for the hermetic
+// coreutils, the equivalent of PaSh's shipped annotation files. CPU
+// factors are relative to a plain byte copy (cat = 1).
+func Builtin() *Library {
+	l := NewLibrary()
+	for _, s := range builtinSpecs() {
+		l.Add(s)
+	}
+	return l
+}
+
+func builtinSpecs() []*Spec {
+	return []*Spec{
+		{
+			Name: "cat", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			OperandsAreInputs: true, CPUFactor: 1, OutputRatio: 1,
+			Summary: "concatenate files to standard output",
+			FlagDocs: map[string]string{
+				"-n": "number output lines",
+			},
+		},
+		{
+			Name: "tr", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			CPUFactor: 2.5, OutputRatio: 1,
+			Summary: "translate, squeeze, or delete characters",
+			FlagDocs: map[string]string{
+				"-c": "complement SET1", "-s": "squeeze repeats", "-d": "delete characters in SET1",
+			},
+		},
+		{
+			Name: "grep", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			ValueFlags: "e", OperandsAreInputs: true, CPUFactor: 3, OutputRatio: 0.5,
+			Summary: "print lines matching a pattern",
+			FlagDocs: map[string]string{
+				"-v": "invert match", "-i": "ignore case", "-c": "count matches",
+				"-q": "quiet: status only", "-n": "prefix line numbers", "-F": "fixed-string match",
+			},
+			refine: refineGrep,
+		},
+		{
+			Name: "cut", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			ValueFlags: "cfd", OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 0.3,
+			Summary: "select character or field columns from each line",
+			FlagDocs: map[string]string{
+				"-c": "select character positions", "-f": "select fields", "-d": "field delimiter",
+			},
+		},
+		{
+			Name: "sort", Version: "1.0", Class: Parallelizable, Agg: AggMergeSort,
+			ValueFlags: "kt", OperandsAreInputs: true, CPUFactor: 12, OutputRatio: 1,
+			Summary: "sort lines of text",
+			FlagDocs: map[string]string{
+				"-n": "numeric comparison", "-r": "reverse", "-u": "unique output",
+				"-m": "merge already-sorted inputs", "-k": "sort key field", "-t": "field separator",
+				"-c": "check sortedness",
+			},
+			refine: refineSort,
+		},
+		{
+			Name: "uniq", Version: "1.0", Class: Blocking, Agg: AggNone,
+			OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 0.8,
+			Summary: "filter adjacent duplicate lines (boundary-crossing: not splittable)",
+			FlagDocs: map[string]string{
+				"-c": "prefix repetition counts", "-d": "only duplicated lines", "-u": "only unique lines",
+			},
+		},
+		{
+			Name: "wc", Version: "1.0", Class: Parallelizable, Agg: AggSum,
+			OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 0.000001,
+			Summary: "count lines, words, and bytes",
+			FlagDocs: map[string]string{
+				"-l": "lines only", "-w": "words only", "-c": "bytes only",
+			},
+		},
+		{
+			Name: "head", Version: "1.0", Class: Blocking, Agg: AggNone,
+			ValueFlags: "nc", OperandsAreInputs: true, CPUFactor: 1, OutputRatio: 0.01,
+			Summary: "output the first lines (a global prefix: not splittable)",
+			FlagDocs: map[string]string{
+				"-n": "line count", "-c": "byte count",
+			},
+		},
+		{
+			Name: "tail", Version: "1.0", Class: Blocking, Agg: AggNone,
+			ValueFlags: "nc", OperandsAreInputs: true, CPUFactor: 1, OutputRatio: 0.01,
+			Summary: "output the last lines (a global suffix: not splittable)",
+		},
+		{
+			Name: "sed", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			OperandsAreInputs: false, CPUFactor: 4, OutputRatio: 1,
+			Summary: "stream editor (s///, d, p, q subset)",
+			refine:  refineSed,
+		},
+		{
+			Name: "awk", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			OperandsAreInputs: false, CPUFactor: 5, OutputRatio: 0.8,
+			Summary: "pattern scanning and processing",
+			refine:  refineAwk,
+		},
+		{
+			Name: "comm", Version: "1.0", Class: Blocking, Agg: AggNone,
+			OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 0.5,
+			Summary: "compare two sorted files line by line",
+			FlagDocs: map[string]string{
+				"-1": "suppress column 1", "-2": "suppress column 2", "-3": "suppress column 3",
+			},
+		},
+		{
+			Name: "join", Version: "1.0", Class: Blocking, Agg: AggNone,
+			OperandsAreInputs: true, CPUFactor: 3, OutputRatio: 1,
+			Summary: "relational join of two sorted files",
+		},
+		{
+			Name: "shuf", Version: "1.0", Class: Blocking, Agg: AggNone,
+			ValueFlags: "n", OperandsAreInputs: true, CPUFactor: 3, OutputRatio: 1,
+			Summary: "random permutation of input lines",
+		},
+		{
+			Name: "paste", Version: "1.0", Class: Blocking, Agg: AggNone,
+			ValueFlags: "d", OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 1,
+			Summary: "merge corresponding lines of files",
+		},
+		{
+			Name: "rev", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 1,
+			Summary: "reverse each line",
+		},
+		{
+			Name: "fold", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			ValueFlags: "w", OperandsAreInputs: true, CPUFactor: 1.5, OutputRatio: 1.05,
+			Summary: "wrap lines to a width",
+		},
+		{
+			Name: "nl", Version: "1.0", Class: Blocking, Agg: AggNone,
+			OperandsAreInputs: true, CPUFactor: 1.5, OutputRatio: 1.1,
+			Summary: "number lines (global counter: not splittable)",
+		},
+		{
+			Name: "tee", Version: "1.0", Class: SideEffectful, Agg: AggNone,
+			CPUFactor: 1, OutputRatio: 1,
+			Summary: "copy stdin to stdout and files (writes the filesystem)",
+		},
+		{
+			Name: "xargs", Version: "1.0", Class: SideEffectful, Agg: AggNone,
+			ValueFlags: "n", CPUFactor: 2, OutputRatio: 1,
+			Summary: "build and run command lines (arbitrary side effects)",
+		},
+		{
+			Name: "seq", Version: "1.0", Class: SideEffectful, Agg: AggNone,
+			Generator: true, CPUFactor: 1, OutputRatio: 1,
+			Summary: "print a numeric sequence (generator, no input)",
+		},
+		{
+			Name: "echo", Version: "1.0", Class: SideEffectful, Agg: AggNone,
+			Generator: true, CPUFactor: 1, OutputRatio: 1,
+			Summary: "print arguments (generator, no input)",
+		},
+		{
+			Name: "wc-sum-helper", Version: "1.0", Class: Blocking, Agg: AggNone,
+			CPUFactor: 1, OutputRatio: 1,
+			Summary: "internal: sums numeric columns of partial wc outputs",
+		},
+		{
+			Name: "tac", Version: "1.0", Class: Blocking, Agg: AggNone,
+			OperandsAreInputs: true, CPUFactor: 2, OutputRatio: 1,
+			Summary: "print lines in reverse order (whole-input)",
+		},
+		{
+			Name: "expand", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			ValueFlags: "t", OperandsAreInputs: true, CPUFactor: 1.5, OutputRatio: 1.1,
+			Summary: "convert tabs to spaces",
+		},
+		{
+			Name: "unexpand", Version: "1.0", Class: Stateless, Agg: AggConcat,
+			ValueFlags: "t", OperandsAreInputs: true, CPUFactor: 1.5, OutputRatio: 0.95,
+			Summary: "convert leading spaces to tabs",
+		},
+		{
+			Name: "tsort", Version: "1.0", Class: Blocking, Agg: AggNone,
+			OperandsAreInputs: true, CPUFactor: 3, OutputRatio: 0.5,
+			Summary: "topological sort of a partial order",
+		},
+	}
+}
+
+// refineGrep adjusts grep's classification for flags: -c becomes
+// Parallelizable with a sum aggregator; -q/-n need global context. It also
+// drops the pattern operand from the input-file list unless -e was used.
+func refineGrep(e *Effective, args []string) {
+	hasE := false
+	for _, a := range args[1:] {
+		if strings.HasPrefix(a, "-e") && len(a) >= 2 {
+			hasE = true
+		}
+	}
+	if !hasE && len(e.InputFiles) > 0 {
+		e.InputFiles = e.InputFiles[1:]
+		e.ReadsStdin = len(e.InputFiles) == 0
+		for _, f := range e.InputFiles {
+			if f == "-" {
+				e.ReadsStdin = true
+			}
+		}
+	}
+	for _, a := range args[1:] {
+		if !strings.HasPrefix(a, "-") || a == "-" || a == "--" {
+			break
+		}
+		for _, f := range a[1:] {
+			switch f {
+			case 'c':
+				e.Class = Parallelizable
+				e.Agg = AggSum
+				e.OutputRatio = 0.000001
+			case 'q':
+				e.Class = Blocking // early-exit semantics
+				e.Agg = AggNone
+			case 'n':
+				e.Class = Blocking // global line numbers
+				e.Agg = AggNone
+			}
+		}
+	}
+}
+
+// refineSort: -m is already a merge (stateless pass, cheap); -c checks.
+func refineSort(e *Effective, args []string) {
+	for _, a := range args[1:] {
+		if !strings.HasPrefix(a, "-") || a == "-" || a == "--" {
+			break
+		}
+		for _, f := range a[1:] {
+			switch f {
+			case 'm':
+				e.Class = Blocking // merging is already the aggregation step
+				e.Agg = AggNone
+				e.CPUFactor = 2
+			case 'c':
+				e.Class = Blocking
+				e.Agg = AggNone
+			}
+		}
+	}
+}
+
+// refineSed demotes scripts with line-number or last-line addresses (2d,
+// $p): those depend on global positions.
+func refineSed(e *Effective, args []string) {
+	for _, a := range args[1:] {
+		if strings.HasPrefix(a, "-") {
+			continue
+		}
+		// First non-flag argument is the script.
+		for _, cmd := range strings.Split(a, ";") {
+			cmd = strings.TrimSpace(cmd)
+			if cmd == "" {
+				continue
+			}
+			if cmd[0] >= '0' && cmd[0] <= '9' || cmd[0] == '$' {
+				e.Class = Blocking
+				e.Agg = AggNone
+				return
+			}
+			if strings.Contains(cmd, "q") && !strings.HasPrefix(cmd, "s") {
+				e.Class = Blocking
+				e.Agg = AggNone
+				return
+			}
+		}
+		return
+	}
+}
+
+// refineAwk demotes programs that use cross-line state: NR, BEGIN/END
+// accumulation, variable assignment, or next.
+func refineAwk(e *Effective, args []string) {
+	prog := ""
+	for i := 1; i < len(args); i++ {
+		a := args[i]
+		if a == "-F" {
+			i++
+			continue
+		}
+		if strings.HasPrefix(a, "-") {
+			continue
+		}
+		prog = a
+		break
+	}
+	if prog == "" {
+		return
+	}
+	stateful := []string{"NR", "BEGIN", "END", "next", "+=", "-=", "*=", "/="}
+	for _, marker := range stateful {
+		if strings.Contains(prog, marker) {
+			e.Class = Blocking
+			e.Agg = AggNone
+			return
+		}
+	}
+	// Plain assignment (x = ...) also carries state across lines.
+	if containsAssignment(prog) {
+		e.Class = Blocking
+		e.Agg = AggNone
+	}
+}
+
+// containsAssignment detects `ident =` not part of == / != / <= / >=.
+func containsAssignment(prog string) bool {
+	for i := 0; i < len(prog); i++ {
+		if prog[i] != '=' {
+			continue
+		}
+		if i+1 < len(prog) && prog[i+1] == '=' {
+			i++
+			continue
+		}
+		if i > 0 {
+			switch prog[i-1] {
+			case '=', '!', '<', '>', '~':
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package spec
+
+import (
+	"testing"
+)
+
+func resolve(t *testing.T, args ...string) *Effective {
+	t.Helper()
+	return Builtin().Resolve(args)
+}
+
+func TestResolveClasses(t *testing.T) {
+	cases := []struct {
+		args []string
+		want Class
+	}{
+		{[]string{"cat", "f"}, Stateless},
+		{[]string{"tr", "A-Z", "a-z"}, Stateless},
+		{[]string{"grep", "-v", "999"}, Stateless},
+		{[]string{"grep", "-c", "x"}, Parallelizable},
+		{[]string{"grep", "-q", "x"}, Blocking},
+		{[]string{"grep", "-n", "x"}, Blocking},
+		{[]string{"cut", "-c", "89-92"}, Stateless},
+		{[]string{"sort"}, Parallelizable},
+		{[]string{"sort", "-rn"}, Parallelizable},
+		{[]string{"sort", "-m", "a", "b"}, Blocking},
+		{[]string{"sort", "-c"}, Blocking},
+		{[]string{"uniq", "-c"}, Blocking},
+		{[]string{"wc", "-l"}, Parallelizable},
+		{[]string{"head", "-n1"}, Blocking},
+		{[]string{"tail"}, Blocking},
+		{[]string{"comm", "-13", "a", "b"}, Blocking},
+		{[]string{"tee", "out"}, SideEffectful},
+		{[]string{"xargs", "rm"}, SideEffectful},
+		{[]string{"rm", "-rf", "/"}, SideEffectful},        // unknown -> conservative
+		{[]string{"mystery-binary", "arg"}, SideEffectful}, // unknown -> conservative
+		{[]string{"sed", "s/a/b/"}, Stateless},
+		{[]string{"sed", "2d"}, Blocking},
+		{[]string{"sed", "$p"}, Blocking},
+		{[]string{"sed", "-n", "s/a/b/p"}, Stateless},
+		{[]string{"awk", "{print $1}"}, Stateless},
+		{[]string{"awk", "{print NR, $0}"}, Blocking},
+		{[]string{"awk", "{s += $1} END {print s}"}, Blocking},
+		{[]string{"awk", "-F", ":", "{print $2}"}, Stateless},
+		{[]string{"awk", "$2 > 10 {print $1}"}, Stateless},
+	}
+	for _, c := range cases {
+		e := resolve(t, c.args...)
+		if e.Class != c.want {
+			t.Errorf("%v -> %v, want %v", c.args, e.Class, c.want)
+		}
+	}
+}
+
+func TestResolveAggregators(t *testing.T) {
+	if e := resolve(t, "sort", "-rn"); e.Agg != AggMergeSort {
+		t.Errorf("sort agg = %v", e.Agg)
+	}
+	if e := resolve(t, "wc", "-l"); e.Agg != AggSum {
+		t.Errorf("wc agg = %v", e.Agg)
+	}
+	if e := resolve(t, "grep", "-c", "x"); e.Agg != AggSum {
+		t.Errorf("grep -c agg = %v", e.Agg)
+	}
+	if e := resolve(t, "tr", "a", "b"); e.Agg != AggConcat {
+		t.Errorf("tr agg = %v", e.Agg)
+	}
+}
+
+func TestResolveInputFiles(t *testing.T) {
+	e := resolve(t, "cat", "a.txt", "b.txt")
+	if len(e.InputFiles) != 2 || e.InputFiles[0] != "a.txt" {
+		t.Errorf("cat inputs = %v", e.InputFiles)
+	}
+	if e.ReadsStdin {
+		t.Error("cat with files should not read stdin")
+	}
+	e = resolve(t, "cat")
+	if !e.ReadsStdin {
+		t.Error("bare cat should read stdin")
+	}
+	e = resolve(t, "grep", "-v", "pat", "file.txt")
+	// grep's first operand is the pattern, not an input file.
+	if len(e.InputFiles) != 1 || e.InputFiles[0] != "file.txt" {
+		t.Errorf("grep inputs = %v", e.InputFiles)
+	}
+	e = resolve(t, "grep", "pat")
+	if len(e.InputFiles) != 0 || !e.ReadsStdin {
+		t.Errorf("bare grep inputs = %v stdin=%v", e.InputFiles, e.ReadsStdin)
+	}
+	e = resolve(t, "comm", "-13", "dict", "-")
+	if len(e.InputFiles) != 2 || !e.ReadsStdin {
+		t.Errorf("comm inputs = %v stdin=%v", e.InputFiles, e.ReadsStdin)
+	}
+	e = resolve(t, "sort", "-k", "2", "data")
+	if len(e.InputFiles) != 1 || e.InputFiles[0] != "data" {
+		t.Errorf("sort -k 2 data inputs = %v (value flag mis-scanned)", e.InputFiles)
+	}
+}
+
+func TestParallelizableHelper(t *testing.T) {
+	if !resolve(t, "tr", "a", "b").Parallelizable() {
+		t.Error("tr should be parallelizable")
+	}
+	if !resolve(t, "sort").Parallelizable() {
+		t.Error("sort should be parallelizable")
+	}
+	if resolve(t, "head").Parallelizable() {
+		t.Error("head should not be parallelizable")
+	}
+	if resolve(t, "unknowncmd").Parallelizable() {
+		t.Error("unknown commands must be conservative")
+	}
+}
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	lib := Builtin()
+	data, err := lib.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewLibrary()
+	if err := fresh.LoadJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Names()) != len(lib.Names()) {
+		t.Errorf("round trip lost specs: %d vs %d", len(fresh.Names()), len(lib.Names()))
+	}
+	s, ok := fresh.Lookup("sort")
+	if !ok || s.Class != Parallelizable || s.Agg != AggMergeSort {
+		t.Errorf("sort after round trip = %+v", s)
+	}
+}
+
+func TestLoadJSONKeepsRefineHooks(t *testing.T) {
+	lib := Builtin()
+	data, _ := lib.MarshalJSON()
+	if err := lib.LoadJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	// The grep refine hook must survive a reload over the same library.
+	if e := lib.Resolve([]string{"grep", "-c", "x"}); e.Class != Parallelizable {
+		t.Errorf("grep -c after reload = %v (refine hook lost)", e.Class)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	s, _ := Builtin().Lookup("sort")
+	if s.Version == "" {
+		t.Error("specs must carry a version (paper: specs correspond to command versions)")
+	}
+}
+
+func TestScanOperands(t *testing.T) {
+	cases := []struct {
+		args       []string
+		valueFlags string
+		want       []string
+	}{
+		{[]string{"-v", "file"}, "", []string{"file"}},
+		{[]string{"-k", "2", "file"}, "kt", []string{"file"}},
+		{[]string{"-k2", "file"}, "kt", []string{"file"}},
+		{[]string{"--", "-looks-like-flag"}, "", []string{"-looks-like-flag"}},
+		{[]string{"-"}, "", []string{"-"}},
+		{[]string{"-rn", "a", "b"}, "", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		got := scanOperands(c.args, c.valueFlags)
+		if len(got) != len(c.want) {
+			t.Errorf("scanOperands(%v) = %v, want %v", c.args, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("scanOperands(%v) = %v, want %v", c.args, got, c.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEffectiveOpBytes(t *testing.T) {
+	d := &Device{OpBytes: 100, SeekPenalty: 0.5}
+	if got := d.EffectiveOpBytes(1); got != 100 {
+		t.Errorf("1 stream: %v", got)
+	}
+	if got := d.EffectiveOpBytes(3); got != 50 {
+		t.Errorf("3 streams: %v", got)
+	}
+	if got := d.EffectiveOpBytes(0); got != 100 {
+		t.Errorf("0 streams clamps to 1: %v", got)
+	}
+}
+
+func TestMinTimeNoBurst(t *testing.T) {
+	d := &Device{Name: "flat", BaseIOPS: 100, BurstIOPS: 100, OpBytes: 1 << 20, BandwidthBPS: 1e15}
+	s := NewState(d)
+	// 1000 ops at 100 ops/s = 10s.
+	got := s.MinTime(1000<<20, 1)
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("MinTime = %v, want 10", got)
+	}
+}
+
+func TestMinTimeBurstCoversAll(t *testing.T) {
+	d := &Device{BaseIOPS: 100, BurstIOPS: 1000, MaxCredits: 10000, OpBytes: 1 << 20, BandwidthBPS: 1e15}
+	s := NewState(d)
+	// 900 ops; burst lasts 10000/(1000-100) = 11.1s, covering 11111 ops.
+	got := s.MinTime(900<<20, 1)
+	want := 0.9
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("MinTime = %v, want %v", got, want)
+	}
+}
+
+func TestMinTimeBurstExhausts(t *testing.T) {
+	d := &Device{BaseIOPS: 100, BurstIOPS: 1000, MaxCredits: 900, OpBytes: 1 << 20, BandwidthBPS: 1e15}
+	s := NewState(d)
+	// Burst window: 900/(1000-100) = 1s -> 1000 ops done. Remaining 9000
+	// ops at 100/s = 90s. Total 91s.
+	got := s.MinTime(10000<<20, 1)
+	if math.Abs(got-91) > 1e-6 {
+		t.Errorf("MinTime = %v, want 91", got)
+	}
+}
+
+func TestMinTimeBandwidthCap(t *testing.T) {
+	d := &Device{BaseIOPS: 1e6, BurstIOPS: 1e6, OpBytes: 1 << 20, BandwidthBPS: 100 << 20}
+	s := NewState(d)
+	got := s.MinTime(1000<<20, 1) // 1000 MB at 100 MB/s
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("MinTime = %v, want 10", got)
+	}
+}
+
+func TestSettleDrainsAndRefills(t *testing.T) {
+	d := &Device{BaseIOPS: 100, BurstIOPS: 1000, MaxCredits: 1000, OpBytes: 1 << 20, BandwidthBPS: 1e15}
+	s := NewState(d)
+	// Move 500 ops in 1s: drain = 500 - 100 = 400.
+	s.Settle(500<<20, 1, 1)
+	if math.Abs(s.Credits-600) > 1e-9 {
+		t.Errorf("credits = %v, want 600", s.Credits)
+	}
+	// Idle-ish period refills: 10 ops in 2s, refill 200-10=190.
+	s.Settle(10<<20, 1, 2)
+	if math.Abs(s.Credits-790) > 1e-9 {
+		t.Errorf("credits = %v, want 790", s.Credits)
+	}
+	// Never above max or below zero.
+	s.Settle(0, 1, 1e6)
+	if s.Credits != d.MaxCredits {
+		t.Errorf("credits = %v, want max", s.Credits)
+	}
+	s.Settle(1e15, 8, 0.001)
+	if s.Credits != 0 {
+		t.Errorf("credits = %v, want 0", s.Credits)
+	}
+}
+
+func TestBurstRemainingFraction(t *testing.T) {
+	s := NewState(GP2())
+	if got := s.BurstRemainingFraction(); got != 1 {
+		t.Errorf("full bucket = %v", got)
+	}
+	s.Credits = s.Device.MaxCredits / 2
+	if got := s.BurstRemainingFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("half bucket = %v", got)
+	}
+	if got := NewState(GP3()).BurstRemainingFraction(); got != 1 {
+		t.Errorf("no-burst device = %v, want 1", got)
+	}
+}
+
+func TestGP2SlowerSustainedThanGP3(t *testing.T) {
+	gp2, gp3 := GP2(), GP3()
+	if gp2.SustainedBPS(1) >= gp3.SustainedBPS(1) {
+		t.Errorf("gp2 sustained %v should be < gp3 %v", gp2.SustainedBPS(1), gp3.SustainedBPS(1))
+	}
+	// gp2's burst is serviceable, though.
+	if gp2.BurstBPS(1) < 100<<20 {
+		t.Errorf("gp2 burst %v unexpectedly slow", gp2.BurstBPS(1))
+	}
+}
+
+func TestConcurrencyHurtsGP2More(t *testing.T) {
+	gp2, gp3 := GP2(), GP3()
+	deg2 := gp2.SustainedBPS(1) / gp2.SustainedBPS(8)
+	deg3 := gp3.SustainedBPS(1) / gp3.SustainedBPS(8)
+	if deg2 <= deg3 {
+		t.Errorf("gp2 degradation %v should exceed gp3 %v", deg2, deg3)
+	}
+}
+
+// Property: MinTime is monotone in bytes.
+func TestQuickMinTimeMonotone(t *testing.T) {
+	s := NewState(GP2())
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return s.MinTime(x, 1) <= s.MinTime(y, 1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more streams never speed up a seek-penalized device.
+func TestQuickStreamsMonotone(t *testing.T) {
+	s := NewState(GP2())
+	f := func(b uint32, s1, s2 uint8) bool {
+		n1, n2 := int(s1%16)+1, int(s2%16)+1
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		return s.MinTime(float64(b), n1) <= s.MinTime(float64(b), n2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

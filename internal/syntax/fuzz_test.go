@@ -1,0 +1,105 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jash/internal/workload"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup: it must always
+// return (AST, nil) or (nil, *ParseError), never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", src, r)
+			}
+		}()
+		s, err := Parse(src)
+		if err != nil {
+			if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("Parse(%q) returned non-ParseError %T", src, err)
+			}
+			return true
+		}
+		// A successful parse must also print and re-parse without panic.
+		printed := Print(s)
+		_, _ = Parse(printed)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseShellLikeSoup stresses the parser with strings built from
+// shell metacharacters specifically (quick's generator rarely emits them).
+func TestParseShellLikeSoup(t *testing.T) {
+	atoms := []string{
+		"echo", "x", "|", "||", "&&", "&", ";", ";;", "<", ">", ">>", "<<",
+		"<<-", "(", ")", "{", "}", "if", "then", "fi", "for", "in", "do",
+		"done", "case", "esac", "while", "$", "${", "}", "$(", "`", "'",
+		`"`, "\\", "\n", " ", "$((", "))", "a=b", "!", "2>", "<&", ">&",
+		"-", "--", "EOF", "*", "?", "[", "]", "~",
+	}
+	rng := workload.NewRNG(99)
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(12)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(atoms[rng.Intn(len(atoms))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			if s, err := Parse(src); err == nil {
+				printed := Print(s)
+				// Round-trip of accepted inputs must stay parseable.
+				if _, err2 := Parse(printed); err2 != nil {
+					t.Fatalf("Print(Parse(%q)) = %q fails to re-parse: %v", src, printed, err2)
+				}
+			}
+		}()
+	}
+}
+
+// TestParseCommandNeverPanicsOrStalls checks the incremental entry point:
+// consumed must advance (or the input be rejected) so JIT loops cannot
+// spin forever.
+func TestParseCommandNeverPanicsOrStalls(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseCommand(%q) panicked: %v", src, r)
+			}
+		}()
+		rest := src
+		for i := 0; i < len(src)+2; i++ {
+			stmts, n, err := ParseCommand(rest)
+			if err != nil {
+				return true
+			}
+			if n == 0 {
+				if len(stmts) != 0 {
+					t.Fatalf("ParseCommand(%q): stmts without progress", rest)
+				}
+				return true
+			}
+			rest = rest[n:]
+			if rest == "" {
+				return true
+			}
+		}
+		t.Fatalf("ParseCommand loop failed to terminate on %q", src)
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

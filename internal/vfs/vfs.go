@@ -1,0 +1,530 @@
+// Package vfs provides a hermetic, thread-safe, in-memory filesystem used
+// as the substrate for the shell interpreter, the coreutils, and the JIT's
+// runtime probing. Every file carries metadata the optimizer cares about —
+// size, modification stamp, and the storage device it lives on — so tests
+// and benchmarks are fully deterministic and never touch the host OS.
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"jash/internal/pattern"
+)
+
+// Common error values, mirroring the os package shapes scripts expect.
+var (
+	ErrNotExist = errors.New("no such file or directory")
+	ErrExist    = errors.New("file exists")
+	ErrIsDir    = errors.New("is a directory")
+	ErrNotDir   = errors.New("not a directory")
+	ErrNotEmpty = errors.New("directory not empty")
+)
+
+// PathError decorates an error with the operation and path, like os.PathError.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+func (e *PathError) Unwrap() error { return e.Err }
+
+// FileInfo describes a file or directory.
+type FileInfo struct {
+	Name   string
+	Size   int64
+	IsDir  bool
+	ModSeq int64  // monotonically increasing modification stamp
+	Device string // storage device the file resides on
+}
+
+// FS is the in-memory filesystem. The zero value is not usable; call New.
+type FS struct {
+	mu     sync.RWMutex
+	root   *node
+	seq    int64
+	mounts []mount // longest-prefix device bindings
+}
+
+type mount struct {
+	prefix string
+	device string
+}
+
+type node struct {
+	name     string
+	isDir    bool
+	data     []byte
+	children map[string]*node
+	modSeq   int64
+}
+
+// New returns an empty filesystem containing only the root directory,
+// bound to device "default".
+func New() *FS {
+	return &FS{
+		root:   &node{name: "/", isDir: true, children: map[string]*node{}},
+		mounts: []mount{{prefix: "/", device: "default"}},
+	}
+}
+
+// Mount binds the subtree at prefix to the named storage device. Longest
+// prefix wins on lookup. The prefix must be absolute.
+func (fs *FS) Mount(prefix, device string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	prefix = clean(prefix)
+	for i, m := range fs.mounts {
+		if m.prefix == prefix {
+			fs.mounts[i].device = device
+			return
+		}
+	}
+	fs.mounts = append(fs.mounts, mount{prefix: prefix, device: device})
+	sort.Slice(fs.mounts, func(i, j int) bool {
+		return len(fs.mounts[i].prefix) > len(fs.mounts[j].prefix)
+	})
+}
+
+// DeviceFor returns the device name holding the given path.
+func (fs *FS) DeviceFor(p string) string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	p = clean(p)
+	for _, m := range fs.mounts {
+		if m.prefix == "/" || p == m.prefix || strings.HasPrefix(p, m.prefix+"/") {
+			return m.device
+		}
+	}
+	return "default"
+}
+
+func clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return path.Clean(p)
+}
+
+// splitPath returns the cleaned path's components, excluding the root.
+func splitPath(p string) []string {
+	p = clean(p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(p[1:], "/")
+}
+
+// lookup walks to the node for path p. Caller holds the lock.
+func (fs *FS) lookup(p string) (*node, error) {
+	cur := fs.root
+	for _, part := range splitPath(p) {
+		if !cur.isDir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupParent returns the parent directory node and the final component.
+func (fs *FS) lookupParent(p string) (*node, string, error) {
+	parts := splitPath(p)
+	if len(parts) == 0 {
+		return nil, "", ErrExist
+	}
+	cur := fs.root
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, "", ErrNotExist
+		}
+		if !next.isDir {
+			return nil, "", ErrNotDir
+		}
+		cur = next
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+// Stat returns metadata for the path.
+func (fs *FS) Stat(p string) (FileInfo, error) {
+	fs.mu.RLock()
+	n, err := fs.lookup(p)
+	fs.mu.RUnlock()
+	if err != nil {
+		return FileInfo{}, &PathError{"stat", p, err}
+	}
+	return FileInfo{
+		Name:   path.Base(clean(p)),
+		Size:   int64(len(n.data)),
+		IsDir:  n.isDir,
+		ModSeq: n.modSeq,
+		Device: fs.DeviceFor(p),
+	}, nil
+}
+
+// Exists reports whether the path exists.
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.Stat(p)
+	return err == nil
+}
+
+// ReadFile returns a copy of the file's contents.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return nil, &PathError{"open", p, err}
+	}
+	if n.isDir {
+		return nil, &PathError{"read", p, ErrIsDir}
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Open returns a reader over a snapshot of the file's contents.
+func (fs *FS) Open(p string) (io.ReadCloser, error) {
+	data, err := fs.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// WriteFile creates or truncates the file with the given contents,
+// creating parent directories as needed.
+func (fs *FS) WriteFile(p string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeLocked(p, data, false)
+}
+
+// AppendFile appends to the file, creating it if needed.
+func (fs *FS) AppendFile(p string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeLocked(p, data, true)
+}
+
+func (fs *FS) writeLocked(p string, data []byte, appendTo bool) error {
+	if err := fs.mkdirAllLocked(path.Dir(clean(p))); err != nil {
+		return err
+	}
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return &PathError{"create", p, err}
+	}
+	fs.seq++
+	n, ok := parent.children[name]
+	if !ok {
+		n = &node{name: name}
+		parent.children[name] = n
+	}
+	if n.isDir {
+		return &PathError{"write", p, ErrIsDir}
+	}
+	if appendTo {
+		n.data = append(n.data, data...)
+	} else {
+		n.data = append([]byte(nil), data...)
+	}
+	n.modSeq = fs.seq
+	return nil
+}
+
+// Create returns a writer whose contents replace the file when Close is
+// called. Writes are buffered in memory.
+func (fs *FS) Create(p string) (io.WriteCloser, error) {
+	return &fileWriter{fs: fs, path: p}, nil
+}
+
+// Append returns a writer whose contents are appended to the file when
+// Close is called.
+func (fs *FS) Append(p string) (io.WriteCloser, error) {
+	return &fileWriter{fs: fs, path: p, appendTo: true}, nil
+}
+
+type fileWriter struct {
+	fs       *FS
+	path     string
+	buf      bytes.Buffer
+	appendTo bool
+	closed   bool
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("write on closed file")
+	}
+	return w.buf.Write(p)
+}
+
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.appendTo {
+		return w.fs.AppendFile(w.path, w.buf.Bytes())
+	}
+	return w.fs.WriteFile(w.path, w.buf.Bytes())
+}
+
+// Mkdir creates a single directory.
+func (fs *FS) Mkdir(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return &PathError{"mkdir", p, err}
+	}
+	if _, ok := parent.children[name]; ok {
+		return &PathError{"mkdir", p, ErrExist}
+	}
+	fs.seq++
+	parent.children[name] = &node{name: name, isDir: true, children: map[string]*node{}, modSeq: fs.seq}
+	return nil
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (fs *FS) MkdirAll(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.mkdirAllLocked(p)
+}
+
+func (fs *FS) mkdirAllLocked(p string) error {
+	cur := fs.root
+	for _, part := range splitPath(p) {
+		next, ok := cur.children[part]
+		if !ok {
+			fs.seq++
+			next = &node{name: part, isDir: true, children: map[string]*node{}, modSeq: fs.seq}
+			cur.children[part] = next
+		} else if !next.isDir {
+			return &PathError{"mkdir", p, ErrNotDir}
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Remove deletes a file or empty directory.
+func (fs *FS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		return &PathError{"remove", p, err}
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return &PathError{"remove", p, ErrNotExist}
+	}
+	if n.isDir && len(n.children) > 0 {
+		return &PathError{"remove", p, ErrNotEmpty}
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// RemoveAll deletes a file or directory tree; missing paths are not errors.
+func (fs *FS) RemoveAll(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.lookupParent(p)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return &PathError{"removeall", p, err}
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// Rename moves a file or directory.
+func (fs *FS) Rename(oldp, newp string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	op, oname, err := fs.lookupParent(oldp)
+	if err != nil {
+		return &PathError{"rename", oldp, err}
+	}
+	n, ok := op.children[oname]
+	if !ok {
+		return &PathError{"rename", oldp, ErrNotExist}
+	}
+	np, nname, err := fs.lookupParent(newp)
+	if err != nil {
+		return &PathError{"rename", newp, err}
+	}
+	delete(op.children, oname)
+	n.name = nname
+	fs.seq++
+	n.modSeq = fs.seq
+	np.children[nname] = n
+	return nil
+}
+
+// ReadDir lists a directory's entries sorted by name.
+func (fs *FS) ReadDir(p string) ([]FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, err := fs.lookup(p)
+	if err != nil {
+		return nil, &PathError{"readdir", p, err}
+	}
+	if !n.isDir {
+		return nil, &PathError{"readdir", p, ErrNotDir}
+	}
+	dev := fs.deviceForLocked(p)
+	infos := make([]FileInfo, 0, len(n.children))
+	for _, c := range n.children {
+		infos = append(infos, FileInfo{
+			Name:   c.name,
+			Size:   int64(len(c.data)),
+			IsDir:  c.isDir,
+			ModSeq: c.modSeq,
+			Device: dev,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+func (fs *FS) deviceForLocked(p string) string {
+	p = clean(p)
+	for _, m := range fs.mounts {
+		if m.prefix == "/" || p == m.prefix || strings.HasPrefix(p, m.prefix+"/") {
+			return m.device
+		}
+	}
+	return "default"
+}
+
+// Glob expands a shell pattern against the filesystem relative to dir
+// (absolute patterns ignore dir). Results are sorted. A pattern with no
+// matches returns an empty slice, per pathname expansion rules.
+func (fs *FS) Glob(dir, pat string) []string {
+	absolute := strings.HasPrefix(pat, "/")
+	var segs []string
+	if absolute {
+		segs = splitPath(pat)
+	} else {
+		segs = strings.Split(pat, "/")
+	}
+	base := dir
+	if absolute {
+		base = "/"
+	}
+	matches := []string{base}
+	for _, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		var next []string
+		for _, m := range matches {
+			if !pattern.HasMeta(seg) {
+				cand := path.Join(m, pattern.Unescape(seg))
+				if fs.Exists(cand) {
+					next = append(next, cand)
+				}
+				continue
+			}
+			entries, err := fs.ReadDir(m)
+			if err != nil {
+				continue
+			}
+			for _, e := range entries {
+				// Leading dots require an explicit dot in the pattern.
+				if strings.HasPrefix(e.Name, ".") && !strings.HasPrefix(seg, ".") {
+					continue
+				}
+				if pattern.Match(seg, e.Name) {
+					next = append(next, path.Join(m, e.Name))
+				}
+			}
+		}
+		matches = next
+	}
+	sort.Strings(matches)
+	out := make([]string, 0, len(matches))
+	for _, m := range matches {
+		if m == base && !absolute {
+			continue
+		}
+		if !absolute {
+			// Relative patterns yield relative names, like a real shell.
+			rel := strings.TrimPrefix(m, clean(base))
+			rel = strings.TrimPrefix(rel, "/")
+			if rel == "" {
+				continue
+			}
+			out = append(out, rel)
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TotalBytes returns the sum of all file sizes, a convenience for tests
+// and the bench harness.
+func (fs *FS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var total int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		total += int64(len(n.data))
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(fs.root)
+	return total
+}
+
+// String renders a tree listing, for debugging.
+func (fs *FS) String() string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var b strings.Builder
+	var walk func(n *node, prefix string)
+	walk = func(n *node, prefix string) {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := n.children[name]
+			if c.isDir {
+				fmt.Fprintf(&b, "%s%s/\n", prefix, name)
+				walk(c, prefix+name+"/")
+			} else {
+				fmt.Fprintf(&b, "%s%s (%d bytes)\n", prefix, name, len(c.data))
+			}
+		}
+	}
+	walk(fs.root, "/")
+	return b.String()
+}

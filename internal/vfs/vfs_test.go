@@ -1,0 +1,244 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadFile(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/a/b/c.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/a/b/c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("data = %q", data)
+	}
+	info, err := fs.Stat("/a/b/c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 5 || info.IsDir {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	_, err := fs.ReadFile("/nope")
+	if !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	fs := New()
+	if err := fs.AppendFile("/log", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendFile("/log", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/log")
+	if string(data) != "ab" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestCreateWriter(t *testing.T) {
+	fs := New()
+	w, err := fs.Create("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "part one ")
+	io.WriteString(w, "part two")
+	if fs.Exists("/out") {
+		t.Error("file should not exist before Close")
+	}
+	w.Close()
+	data, _ := fs.ReadFile("/out")
+	if string(data) != "part one part two" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestModSeqAdvances(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/f", []byte("1"))
+	i1, _ := fs.Stat("/f")
+	fs.WriteFile("/f", []byte("2"))
+	i2, _ := fs.Stat("/f")
+	if i2.ModSeq <= i1.ModSeq {
+		t.Errorf("ModSeq did not advance: %d -> %d", i1.ModSeq, i2.ModSeq)
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate mkdir err = %v", err)
+	}
+	if err := fs.Mkdir("/missing/child"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("mkdir under missing parent err = %v", err)
+	}
+	fs.WriteFile("/file", nil)
+	if err := fs.MkdirAll("/file/sub"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("mkdirall through file err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/d/f", []byte("x"))
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty dir err = %v", err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") {
+		t.Error("dir still exists")
+	}
+	if err := fs.RemoveAll("/never-there"); err != nil {
+		t.Errorf("RemoveAll of missing path = %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/a", []byte("data"))
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a") {
+		t.Error("old path still exists")
+	}
+	data, _ := fs.ReadFile("/b")
+	if string(data) != "data" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New()
+	for _, name := range []string{"/dir/c", "/dir/a", "/dir/b"} {
+		fs.WriteFile(name, nil)
+	}
+	infos, err := fs.ReadDir("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, fi := range infos {
+		names = append(names, fi.Name)
+	}
+	if !sort.StringsAreSorted(names) || len(names) != 3 {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestDeviceMounts(t *testing.T) {
+	fs := New()
+	fs.Mount("/fast", "gp3")
+	fs.Mount("/fast/slow-corner", "gp2")
+	cases := map[string]string{
+		"/anywhere":            "default",
+		"/fast/data.txt":       "gp3",
+		"/fast/slow-corner/f":  "gp2",
+		"/fastnot/related.txt": "default",
+	}
+	for p, want := range cases {
+		if got := fs.DeviceFor(p); got != want {
+			t.Errorf("DeviceFor(%q) = %q, want %q", p, got, want)
+		}
+	}
+	fs.WriteFile("/fast/data.txt", []byte("xyz"))
+	fi, _ := fs.Stat("/fast/data.txt")
+	if fi.Device != "gp3" {
+		t.Errorf("Stat device = %q", fi.Device)
+	}
+}
+
+func TestGlob(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"/w/a.txt", "/w/b.txt", "/w/c.log", "/w/.hidden", "/w/sub/d.txt"} {
+		fs.WriteFile(p, nil)
+	}
+	got := fs.Glob("/w", "*.txt")
+	want := []string{"a.txt", "b.txt"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Glob(*.txt) = %v", got)
+	}
+	got = fs.Glob("/", "/w/*/*.txt")
+	if len(got) != 1 || got[0] != "/w/sub/d.txt" {
+		t.Errorf("Glob(/w/*/*.txt) = %v", got)
+	}
+	got = fs.Glob("/", "w/*.log")
+	if len(got) != 1 || got[0] != "w/c.log" {
+		t.Errorf("Glob(w/*.log) = %v", got)
+	}
+	if got := fs.Glob("/w", "*"); len(got) != 4 {
+		t.Errorf("Glob(*) should skip dotfiles, got %v", got)
+	}
+	if got := fs.Glob("/w", ".h*"); len(got) != 1 {
+		t.Errorf("Glob(.h*) = %v", got)
+	}
+	if got := fs.Glob("/w", "*.pdf"); len(got) != 0 {
+		t.Errorf("Glob(*.pdf) = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	fs := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := "/f" + string(rune('a'+i))
+			for j := 0; j < 100; j++ {
+				fs.WriteFile(name, []byte("data"))
+				fs.ReadFile(name)
+				fs.Stat(name)
+				fs.ReadDir("/")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := fs.TotalBytes(); n != 8*4 {
+		t.Errorf("TotalBytes = %d", n)
+	}
+}
+
+// Property: write-then-read returns exactly what was written.
+func TestQuickWriteRead(t *testing.T) {
+	fs := New()
+	f := func(data []byte) bool {
+		if err := fs.WriteFile("/q", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("/q")
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWordsDeterministic(t *testing.T) {
+	a := Words(42, 10000)
+	b := Words(42, 10000)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different text")
+	}
+	c := Words(43, 10000)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical text")
+	}
+}
+
+func TestWordsShape(t *testing.T) {
+	data := Words(1, 50000)
+	if len(data) < 50000 || len(data) > 51000 {
+		t.Errorf("size = %d", len(data))
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+	text := string(data)
+	if !strings.Contains(text, "the") {
+		t.Error("common word missing")
+	}
+	// Zipf-ish: "the" (rank 0) should appear far more than a rare word.
+	common := strings.Count(text, " the ")
+	if common < 20 {
+		t.Errorf("common word count = %d", common)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := Vocabulary(500)
+	if len(v) != 500 {
+		t.Fatalf("len = %d", len(v))
+	}
+	seen := map[string]bool{}
+	for _, w := range v {
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestDictionarySorted(t *testing.T) {
+	d := string(Dictionary(100))
+	lines := strings.Split(strings.TrimSpace(d), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("unsorted at %d: %q < %q", i, lines[i], lines[i-1])
+		}
+	}
+}
+
+func TestTemperatureRecords(t *testing.T) {
+	data := TemperatureRecords(7, 500)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 500 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	sentinels := 0
+	for _, line := range lines {
+		if len(line) < 92 {
+			t.Fatalf("short line %q", line)
+		}
+		val := line[88:92]
+		if val == "9999" {
+			sentinels++
+			continue
+		}
+		for _, c := range val {
+			if c < '0' || c > '9' {
+				t.Fatalf("non-numeric reading %q", val)
+			}
+		}
+	}
+	if sentinels == 0 {
+		t.Error("no sentinel records generated")
+	}
+}
+
+func TestMaxTemperatureOracle(t *testing.T) {
+	data := TemperatureRecords(7, 500)
+	max, ok := MaxTemperature(data)
+	if !ok {
+		t.Fatal("no max found")
+	}
+	if len(max) != 4 || max == "9999" {
+		t.Errorf("max = %q", max)
+	}
+	// Every reading must be <= max.
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		val := line[88:92]
+		if strings.Contains(val, "999") {
+			continue
+		}
+		if val > max {
+			t.Errorf("reading %q exceeds oracle max %q", val, max)
+		}
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	data := AccessLog(3, 200)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, line := range lines[:5] {
+		if !strings.Contains(line, "GET ") || !strings.Contains(line, "HTTP/1.1") {
+			t.Errorf("malformed line %q", line)
+		}
+	}
+}
+
+func TestDocuments(t *testing.T) {
+	docs := Documents(9, 3, 5000)
+	if len(docs) != 3 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	if bytes.Equal(docs[0], docs[1]) {
+		t.Error("documents identical")
+	}
+}
