@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race verify bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The executor and interpreter are the concurrency-heavy packages; they
+# must stay race-clean.
+race:
+	$(GO) test -race ./internal/exec/... ./internal/interp/...
+
+# verify is the tier-1 gate: everything a change must pass before merge.
+verify: vet build test race
+
+bench:
+	$(GO) run ./cmd/jashbench all
+
+clean:
+	$(GO) clean ./...

@@ -106,6 +106,36 @@ func TestJashInteractive(t *testing.T) {
 	}
 }
 
+// TestJashHostStdin: host stdin must reach the script's commands when
+// the script itself came from -c or a file.
+func TestJashHostStdin(t *testing.T) {
+	out, errs, code := runBin(t, "jash", "b\na\n", "-c", "sort")
+	if code != 0 || out != "a\nb\n" {
+		t.Errorf("out=%q errs=%q code=%d", out, errs, code)
+	}
+	out, _, code = runBin(t, "jash", "x y z\n", "-c", "wc -w")
+	if code != 0 || out != "3\n" {
+		t.Errorf("wc -w over host stdin: out=%q code=%d", out, code)
+	}
+}
+
+// TestJashStatsPerNode: -stats must report the executor's measured
+// per-node counters for a parallelized pipeline, next to the model's
+// prediction.
+func TestJashStatsPerNode(t *testing.T) {
+	_, errs, code := runBin(t, "jash", "",
+		"-words", "/d=4000000", "-stats", "-profile", "ioopt",
+		"-c", "cat /d | tr A-Z a-z | sort >/dev/null")
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	for _, want := range []string{"peak-buf=", "split", "merge", "measured:", "bytes moved"} {
+		if !strings.Contains(errs, want) {
+			t.Errorf("-stats missing %q:\n%s", want, errs)
+		}
+	}
+}
+
 func TestJashStdinScript(t *testing.T) {
 	out, _, code := runBin(t, "jash", "echo from-stdin\n")
 	if code != 0 || out != "from-stdin\n" {

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"jash/internal/core"
 	"jash/internal/cost"
@@ -124,6 +125,7 @@ func run() int {
 	}
 
 	var src string
+	hostStdin := true
 	switch {
 	case *command != "":
 		src = *command
@@ -141,10 +143,20 @@ func run() int {
 			return 2
 		}
 		src = string(data)
+		// The script itself arrived on stdin, so there is nothing left for
+		// the script's commands to read.
+		hostStdin = false
 	}
 
 	sh := core.New(fs, prof, m)
-	sh.Interp.Stdin = strings.NewReader("")
+	// Host stdin feeds the script's commands (`printf 'b\na\n' | jash -c
+	// 'sort'` must sort those lines), except when stdin already supplied
+	// the script text.
+	if hostStdin {
+		sh.Interp.Stdin = os.Stdin
+	} else {
+		sh.Interp.Stdin = strings.NewReader("")
+	}
 	sh.Interp.Stdout = os.Stdout
 	sh.Interp.Stderr = os.Stderr
 	if *trace {
@@ -166,6 +178,22 @@ func run() int {
 		for _, d := range sh.Stats.Decisions {
 			fmt.Fprintf(os.Stderr, "  %-40s %-13s width=%d est=%.3fs\n",
 				d.Pipeline, d.Strategy, d.Width, d.EstimatedSeconds)
+			// Measured per-node counters from the executor, next to the
+			// model's prediction above.
+			var moved, maxPeak int64
+			for _, nm := range d.Nodes {
+				fmt.Fprintf(os.Stderr, "    [%2d] %-30s in=%-10d out=%-10d peak-buf=%-8d wall=%v\n",
+					nm.ID, nm.Label, nm.BytesIn, nm.BytesOut, nm.PeakBufferedBytes,
+					nm.Wall.Round(time.Microsecond))
+				moved += nm.BytesOut
+				if nm.PeakBufferedBytes > maxPeak {
+					maxPeak = nm.PeakBufferedBytes
+				}
+			}
+			if len(d.Nodes) > 0 {
+				fmt.Fprintf(os.Stderr, "    measured: %d bytes moved, max peak buffered %d\n",
+					moved, maxPeak)
+			}
 		}
 	}
 	return status

@@ -6,8 +6,8 @@
 //	jashbench [experiment]
 //
 // where experiment is one of: fig1, temperature, spell, noregression,
-// scaling, incremental, distribution, jitoverhead, lint, infer, or all
-// (the default).
+// scaling, incremental, distribution, jitoverhead, datamovement, lint,
+// infer, or all (the default).
 package main
 
 import (
@@ -26,6 +26,7 @@ var experiments = map[string]func() ([]bench.Row, error){
 	"incremental":  func() ([]bench.Row, error) { return bench.Incremental(2 << 20) },
 	"distribution": func() ([]bench.Row, error) { return bench.Distribution(2 << 20) },
 	"jitoverhead":  func() ([]bench.Row, error) { return bench.JITOverhead(100) },
+	"datamovement": func() ([]bench.Row, error) { return bench.DataMovement(4 << 20) },
 	"lint":         bench.Lint,
 	"infer":        bench.InferAgreement,
 	"ablation":     bench.Ablation,

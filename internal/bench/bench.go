@@ -528,6 +528,55 @@ func InferAgreement() ([]Row, error) {
 	}, nil
 }
 
+// DataMovement cross-checks the cost model against the streaming
+// executor's measured counters: the fig1 pipeline runs for real at the
+// given scale under a width-4 parallel plan, and the rows report the
+// model's predicted input volume next to the bytes the executor actually
+// moved, plus the largest amount any node held buffered — which must stay
+// bounded by the per-edge pipe capacity regardless of input size.
+func DataMovement(inputBytes int) ([]Row, error) {
+	const width = 4
+	fs := vfs.New()
+	fs.WriteFile("/words", workload.Words(7, inputBytes))
+	g, err := dfg.FromPipeline(fig1Pipeline(), lib, dfg.Binding{StdinFile: "/words", StdoutFile: "/out"})
+	if err != nil {
+		return nil, err
+	}
+	ng, err := rewrite.Parallelize(g, rewrite.Options{Width: width})
+	if err != nil {
+		return nil, err
+	}
+	in := cost.Inputs{Size: func(string) int64 { return int64(inputBytes) }}
+	est, err := cost.EstimateGraph(ng, in, cost.Laptop(), true)
+	if err != nil {
+		return nil, err
+	}
+	var predicted int64
+	for _, ph := range est.Phases {
+		predicted += ph.Bytes
+	}
+	metrics := &exec.RunMetrics{}
+	env := &exec.Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+		Stdout: io.Discard, Stderr: io.Discard, Metrics: metrics}
+	start := time.Now()
+	if st, err := exec.Run(ng, env); err != nil || st != 0 {
+		return nil, fmt.Errorf("datamovement: status %d err %v", st, err)
+	}
+	wall := time.Since(start).Seconds()
+	bound := int64(width * cost.PipeBufferBytes)
+	if peak := metrics.MaxPeakBuffered(); peak > bound {
+		return nil, fmt.Errorf("datamovement: peak buffered %d exceeds bound %d", peak, bound)
+	}
+	cfg := fmt.Sprintf("%s width=%d", sizeName(int64(inputBytes)), width)
+	return []Row{
+		{"datamovement", cfg, "model", est.Seconds,
+			fmt.Sprintf("predicted %d bytes over %d phases", predicted, len(est.Phases))},
+		{"datamovement", cfg, "executor", wall,
+			fmt.Sprintf("measured %d bytes moved, max peak buffered %d (cap %d/edge)",
+				metrics.TotalBytesMoved(), metrics.MaxPeakBuffered(), cost.PipeBufferBytes)},
+	}, nil
+}
+
 // All runs every experiment at validation scale, concatenating the rows.
 func All() ([]Row, error) {
 	var rows []Row
@@ -544,6 +593,7 @@ func All() ([]Row, error) {
 		{"incremental", func() ([]Row, error) { return Incremental(1 << 20) }},
 		{"distribution", func() ([]Row, error) { return Distribution(1 << 20) }},
 		{"jitoverhead", func() ([]Row, error) { return JITOverhead(50) }},
+		{"datamovement", func() ([]Row, error) { return DataMovement(1 << 20) }},
 		{"lint", Lint},
 		{"infer", InferAgreement},
 		{"ablation", Ablation},

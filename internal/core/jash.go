@@ -74,6 +74,11 @@ type Decision struct {
 	PlanningWall       time.Duration // real time spent deciding (JIT overhead)
 	InputBytes         int64
 	BurstCreditsBefore float64
+	// Nodes holds the executor's measured per-node counters for the run
+	// (bytes moved, peak buffered bytes, wall time) — the ground truth
+	// `jash -stats` shows next to the model's predictions. Empty when the
+	// pipeline was interpreted rather than executed as dataflow.
+	Nodes []exec.NodeMetrics
 }
 
 // Stats accumulates a session's decisions and modelled execution time.
@@ -225,13 +230,15 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	s.Stats.Optimized++
 	// Execute the plan for real over the VFS, through the incremental
 	// cache when one is attached.
+	metrics := &exec.RunMetrics{}
 	env := &exec.Env{
-		FS:     s.FS,
-		Dir:    in.Dir,
-		Stdin:  in.Stdin,
-		Stdout: in.Stdout,
-		Stderr: in.Stderr,
-		Getenv: in.Getenv,
+		FS:      s.FS,
+		Dir:     in.Dir,
+		Stdin:   in.Stdin,
+		Stdout:  in.Stdout,
+		Stderr:  in.Stderr,
+		Getenv:  in.Getenv,
+		Metrics: metrics,
 	}
 	var status int
 	var runErr error
@@ -243,6 +250,10 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		}
 	} else {
 		status, runErr = exec.Run(chosen, env)
+	}
+	// Attach the measured counters to the decision recorded above.
+	if len(s.Stats.Decisions) > 0 {
+		s.Stats.Decisions[len(s.Stats.Decisions)-1].Nodes = metrics.Nodes
 	}
 	if runErr != nil {
 		fmt.Fprintf(in.Stderr, "jash: %v\n", runErr)

@@ -215,6 +215,34 @@ func TestWc(t *testing.T) {
 	}
 }
 
+func TestWcMultipleFiles(t *testing.T) {
+	fs := newFS(t, map[string]string{
+		"/a": "one two\n",
+		"/b": "three\nfour five six\n",
+	})
+	// One row per operand, with the file name, plus a total row.
+	out, _, st := run(t, fs, "", "wc", "-l", "/a", "/b")
+	want := "1 /a\n2 /b\n3 total\n"
+	if st != 0 || out != want {
+		t.Errorf("wc -l multi: out=%q st=%d, want %q", out, st, want)
+	}
+	out, _, st = run(t, fs, "", "wc", "/a", "/b")
+	want = "1 2 8 /a\n2 4 20 /b\n3 6 28 total\n"
+	if st != 0 || out != want {
+		t.Errorf("wc multi: out=%q st=%d, want %q", out, st, want)
+	}
+	// A single operand prints its name but no total row.
+	out, _, st = run(t, fs, "", "wc", "-w", "/a")
+	if st != 0 || out != "2 /a\n" {
+		t.Errorf("wc -w single: out=%q st=%d", out, st)
+	}
+	// A "-" operand reads stdin but still counts as a named row.
+	out, _, st = run(t, fs, "x\n", "wc", "-l", "/a", "-")
+	if st != 0 || out != "1 /a\n1 -\n2 total\n" {
+		t.Errorf("wc with - operand: out=%q st=%d", out, st)
+	}
+}
+
 func TestGrep(t *testing.T) {
 	in := "apple\nbanana\ncherry\n"
 	out, _, st := run(t, vfs.New(), in, "grep", "an")

@@ -1,6 +1,7 @@
 package coreutils
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -497,13 +498,12 @@ func leadingNumber(s string) float64 {
 	return f
 }
 
-// sortCmd sorts lines. Flags: -n numeric, -r reverse, -u unique, -m merge
-// already-sorted inputs (the aggregator PaSh relies on), -k FIELD,
-// -t SEP, -c check (exit 1 if unsorted).
-func sortCmd(c *Context, args []string) int {
-	flags, operands, err := parseCombinedFlags(args[1:], "kt")
+// parseSortArgs parses sort's flag vector into the comparison config, shared
+// by sortCmd and the executor's streaming merge entry point.
+func parseSortArgs(args []string) (map[byte]string, sortConfig, []string, error) {
+	flags, operands, err := parseCombinedFlags(args, "kt")
 	if err != nil {
-		return c.Errorf(2, "sort: %v", err)
+		return nil, sortConfig{}, nil, err
 	}
 	cfg := sortConfig{
 		numeric: has(flags, 'n'),
@@ -522,8 +522,19 @@ func sortCmd(c *Context, args []string) int {
 		}
 		cfg.field, err = strconv.Atoi(numPart)
 		if err != nil || cfg.field < 1 {
-			return c.Errorf(2, "sort: invalid key %q", v)
+			return nil, sortConfig{}, nil, errLine("invalid key " + v)
 		}
+	}
+	return flags, cfg, operands, nil
+}
+
+// sortCmd sorts lines. Flags: -n numeric, -r reverse, -u unique, -m merge
+// already-sorted inputs (the aggregator PaSh relies on), -k FIELD,
+// -t SEP, -c check (exit 1 if unsorted).
+func sortCmd(c *Context, args []string) int {
+	flags, cfg, operands, err := parseSortArgs(args[1:])
+	if err != nil {
+		return c.Errorf(2, "sort: %v", err)
 	}
 	rs, st := openInputs(c, operands)
 	if rs == nil {
@@ -581,43 +592,89 @@ func sortCmd(c *Context, args []string) int {
 	return 0
 }
 
-// mergeSorted merges pre-sorted line streams, honouring -u.
-func mergeSorted(c *Context, rs []io.Reader, cfg sortConfig, lw *lineWriter) int {
-	type cursor struct {
-		lines []string
-		pos   int
+// lineCursor pulls one line at a time from a stream, for the k-way merge.
+// Holding a single line per input is what keeps `sort -m` memory bounded
+// by the number of inputs, not their size.
+type lineCursor struct {
+	s    *bufio.Scanner
+	line string
+	done bool
+	err  error
+}
+
+func newLineCursor(r io.Reader) *lineCursor {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64<<10), maxLine)
+	cu := &lineCursor{s: s}
+	cu.advance()
+	return cu
+}
+
+func (cu *lineCursor) advance() {
+	if cu.s.Scan() {
+		cu.line = cu.s.Text()
+		return
 	}
-	cursors := make([]*cursor, 0, len(rs))
+	cu.done = true
+	cu.err = cu.s.Err()
+}
+
+// mergeSorted merges pre-sorted line streams incrementally, honouring -u.
+// Ties go to the lowest-index input, which over consecutive chunks of a
+// stable-sorted whole reproduces that whole exactly — the property the
+// executor's order-aware merge relies on for byte-identical parallel runs.
+func mergeSorted(c *Context, rs []io.Reader, cfg sortConfig, lw *lineWriter) int {
+	cursors := make([]*lineCursor, 0, len(rs))
 	for _, r := range rs {
-		ls, e := readLines(r)
-		if e != nil {
-			return c.Errorf(2, "sort: %v", e)
-		}
-		cursors = append(cursors, &cursor{lines: ls})
+		cursors = append(cursors, newLineCursor(r))
 	}
 	var prev string
 	first := true
 	for {
 		best := -1
 		for i, cu := range cursors {
-			if cu.pos >= len(cu.lines) {
+			if cu.done {
+				if cu.err != nil {
+					return c.Errorf(2, "sort: %v", cu.err)
+				}
 				continue
 			}
-			if best < 0 || cfg.less(cu.lines[cu.pos], cursors[best].lines[cursors[best].pos]) {
+			if best < 0 || cfg.less(cu.line, cursors[best].line) {
 				best = i
 			}
 		}
 		if best < 0 {
 			return 0
 		}
-		line := cursors[best].lines[cursors[best].pos]
-		cursors[best].pos++
+		line := cursors[best].line
+		cursors[best].advance()
 		if cfg.unique && !first && line == prev {
 			continue
 		}
 		lw.WriteLine([]byte(line))
 		prev, first = line, false
 	}
+}
+
+// MergeSortedStreams is the executor's entry point for the order-aware
+// merge: it runs `sort -m` semantics directly over open streams, so
+// parallel lane outputs merge without materializing to files. argv is the
+// merge command vector (e.g. ["sort", "-m", "-n"]); any file operands in
+// it are ignored in favour of ins.
+func MergeSortedStreams(c *Context, argv []string, ins []io.Reader) int {
+	flags, cfg, _, err := parseSortArgs(argv[1:])
+	if err != nil {
+		return c.Errorf(2, "sort: %v", err)
+	}
+	if !has(flags, 'm') {
+		return c.Errorf(2, "sort: MergeSortedStreams requires -m")
+	}
+	lw := newLineWriter(c.Stdout)
+	if st := mergeSorted(c, ins, cfg, lw); st != 0 {
+		return st
+	}
+	lw.Flush()
+	return 0
 }
 
 // uniqCmd filters adjacent duplicate lines: -c prefixes counts, -d prints

@@ -494,7 +494,47 @@ func yesCmd(c *Context, args []string) int {
 	return 0
 }
 
+// wcCounts is one operand's tallies.
+type wcCounts struct{ lines, words, chars int64 }
+
+func (n *wcCounts) add(m wcCounts) {
+	n.lines += m.lines
+	n.words += m.words
+	n.chars += m.chars
+}
+
+func wcTally(r io.Reader, buf []byte) (wcCounts, error) {
+	var n wcCounts
+	inWord := false
+	for {
+		k, e := r.Read(buf)
+		for _, b := range buf[:k] {
+			n.chars++
+			if b == '\n' {
+				n.lines++
+			}
+			isSpace := b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
+			if isSpace {
+				inWord = false
+			} else if !inWord {
+				inWord = true
+				n.words++
+			}
+		}
+		if e == io.EOF {
+			return n, nil
+		}
+		if e != nil {
+			return n, e
+		}
+	}
+}
+
 // wcCmd counts lines (-l), words (-w), and bytes (-c); default all three.
+// With file operands it prints one row per file, suffixed with the file
+// name, plus a "total" row when more than one operand was given. Reading
+// stdin alone keeps the bare numeric format (which the parallel sum
+// aggregator depends on).
 func wcCmd(c *Context, args []string) int {
 	flags, operands, err := parseCombinedFlags(args[1:], "")
 	if err != nil {
@@ -508,43 +548,38 @@ func wcCmd(c *Context, args []string) int {
 	if rs == nil {
 		return st
 	}
-	var lines, words, chars int64
-	inWord := false
-	buf := make([]byte, 64<<10)
-	for _, r := range rs {
-		for {
-			n, e := r.Read(buf)
-			for _, b := range buf[:n] {
-				chars++
-				if b == '\n' {
-					lines++
-				}
-				isSpace := b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
-				if isSpace {
-					inWord = false
-				} else if !inWord {
-					inWord = true
-					words++
-				}
-			}
-			if e == io.EOF {
-				break
-			}
-			if e != nil {
-				return c.Errorf(1, "wc: %v", e)
-			}
+	row := func(n wcCounts, name string) {
+		var parts []string
+		if showL {
+			parts = append(parts, fmt.Sprintf("%d", n.lines))
 		}
+		if showW {
+			parts = append(parts, fmt.Sprintf("%d", n.words))
+		}
+		if showC {
+			parts = append(parts, fmt.Sprintf("%d", n.chars))
+		}
+		if name != "" {
+			parts = append(parts, name)
+		}
+		fmt.Fprintln(c.Stdout, strings.Join(parts, " "))
 	}
-	var parts []string
-	if showL {
-		parts = append(parts, fmt.Sprintf("%d", lines))
+	buf := make([]byte, 64<<10)
+	var total wcCounts
+	for i, r := range rs {
+		n, e := wcTally(r, buf)
+		if e != nil {
+			return c.Errorf(1, "wc: %v", e)
+		}
+		if len(operands) == 0 {
+			row(n, "")
+			return 0
+		}
+		row(n, operands[i])
+		total.add(n)
 	}
-	if showW {
-		parts = append(parts, fmt.Sprintf("%d", words))
+	if len(operands) > 1 {
+		row(total, "total")
 	}
-	if showC {
-		parts = append(parts, fmt.Sprintf("%d", chars))
-	}
-	fmt.Fprintln(c.Stdout, strings.Join(parts, " "))
 	return 0
 }

@@ -28,6 +28,25 @@ import (
 	"jash/internal/storage"
 )
 
+// Executor buffering constants. The cost model and the real executor
+// (package exec) must agree on these: the model's I/O predictions assume
+// bounded per-edge buffering, and the executor enforces it. Keeping the
+// constants here (the lower layer both import) is what lets `jash -stats`
+// put measured data movement next to predicted data movement.
+const (
+	// PipeBufferBytes is the capacity of one bounded executor pipe (one
+	// dataflow edge). Backpressure engages when a consumer falls this far
+	// behind its producer.
+	PipeBufferBytes = 64 << 10
+	// SplitChunkBytes is the block size the streaming splitter forwards:
+	// it reads at most this much before handing complete lines to a lane.
+	SplitChunkBytes = 64 << 10
+	// SplitLaneFallbackBytes is the per-lane quota the consecutive
+	// splitter uses when the input volume is unknown (terminal stdin):
+	// lanes 0..n-2 receive this much each and the last lane the rest.
+	SplitLaneFallbackBytes = 1 << 20
+)
+
 // Profile describes the machine a plan would run on.
 type Profile struct {
 	Name string

@@ -8,6 +8,9 @@ func (g *Graph) Clone() *Graph {
 	for id, n := range g.Nodes {
 		nn := *n
 		nn.Argv = append([]string(nil), n.Argv...)
+		if n.StreamPorts != nil {
+			nn.StreamPorts = append([]bool(nil), n.StreamPorts...)
+		}
 		cp.Nodes[id] = &nn
 	}
 	for _, e := range g.Edges {

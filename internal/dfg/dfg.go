@@ -36,6 +36,25 @@ var kindNames = [...]string{"command", "source", "sink", "split", "merge"}
 
 func (k NodeKind) String() string { return kindNames[k] }
 
+// SplitDist selects a splitter's distribution discipline.
+type SplitDist int
+
+const (
+	// DistConsecutive hands each lane one consecutive line-aligned run
+	// of the input, in lane order. Order-preserving: required when the
+	// matching merge concatenates (AggConcat) or relies on stable-sort
+	// tie order (AggMergeSort).
+	DistConsecutive SplitDist = iota
+	// DistRoundRobin cycles line-aligned blocks across lanes. Better
+	// balanced under unknown input sizes, but reorders data between
+	// lanes — only sound when the merge is order-insensitive (AggSum).
+	DistRoundRobin
+)
+
+var distNames = [...]string{"consecutive", "round-robin"}
+
+func (d SplitDist) String() string { return distNames[d] }
+
 // Node is one dataflow vertex.
 type Node struct {
 	ID   int
@@ -53,6 +72,15 @@ type Node struct {
 	Agg spec.AggKind
 	// Width is the fan-out (KindSplit) or fan-in (KindMerge).
 	Width int
+	// Dist is the splitter's distribution discipline (KindSplit), chosen
+	// by the rewriter from the matching merge's aggregator.
+	Dist SplitDist
+	// StreamPorts marks which input ports of a multi-input command the
+	// executor may consume incrementally (true = streamed on stdin,
+	// false = a genuinely blocking side input, materialized before
+	// dispatch). Set by the translator from the spec's operand analysis;
+	// nil means every port materializes.
+	StreamPorts []bool
 }
 
 // Label renders a short human-readable node description.
@@ -71,6 +99,9 @@ func (n *Node) Label() string {
 		}
 		return "sink:" + n.Path
 	case KindSplit:
+		if n.Dist == DistRoundRobin {
+			return fmt.Sprintf("split[rr]×%d", n.Width)
+		}
 		return fmt.Sprintf("split×%d", n.Width)
 	case KindMerge:
 		return fmt.Sprintf("merge[%s]×%d", n.Agg, n.Width)
@@ -314,6 +345,7 @@ type jsonNode struct {
 	Path  string   `json:"path,omitempty"`
 	Agg   string   `json:"agg,omitempty"`
 	Width int      `json:"width,omitempty"`
+	Dist  string   `json:"dist,omitempty"`
 }
 
 // MarshalJSON serializes the graph structure (specs are re-resolved on
@@ -328,6 +360,9 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 		jn := jsonNode{ID: n.ID, Kind: n.Kind.String(), Argv: n.Argv, Path: n.Path, Width: n.Width}
 		if n.Kind == KindMerge {
 			jn.Agg = n.Agg.String()
+		}
+		if n.Kind == KindSplit && n.Dist != DistConsecutive {
+			jn.Dist = n.Dist.String()
 		}
 		jg.Nodes = append(jg.Nodes, jn)
 	}

@@ -56,11 +56,20 @@ func FromPipeline(argvs [][]string, lib *spec.Library, b Binding) (*Graph, error
 			Argv: argvWithoutInputs(argv, e),
 			Spec: e,
 		})
-		// Wire the stage's inputs in operand order.
+		// Wire the stage's inputs in operand order. The first "-" operand
+		// is the stage's primary stream: the executor feeds it on stdin
+		// incrementally, while the remaining ports (genuinely blocking side
+		// inputs like comm's second file) are materialized before dispatch.
 		switch {
 		case len(e.InputFiles) > 0:
+			node.StreamPorts = make([]bool, len(e.InputFiles))
+			streamed := false
 			for port, f := range e.InputFiles {
 				if f == "-" {
+					if !streamed {
+						node.StreamPorts[port] = true
+						streamed = true
+					}
 					src := upstream
 					if src == nil {
 						src = g.AddNode(&Node{Kind: KindSource, Path: b.StdinFile})

@@ -123,6 +123,74 @@ func TestDifferentialRandomPipelines(t *testing.T) {
 	t.Logf("differential: %d pipelines, %d parallel plans, all agree", tested, parallelTested)
 }
 
+// TestDifferentialLargeInputs runs a representative pipeline set over a
+// multi-megabyte corpus — many times the bounded-pipe capacity — and
+// checks the interpreter, the sequential plan, and wide parallel plans
+// produce identical bytes. This is the fuzzer's scale check: the
+// streaming splitter, the order-aware merges, and the round-robin sum
+// path all cross chunk boundaries thousands of times here.
+func TestDifferentialLargeInputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB corpus")
+	}
+	input := workload.Words(11, 4<<20) // 64× the pipe capacity
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte(input))
+
+	cases := []struct {
+		script string
+		argvs  [][]string
+	}{
+		// Stateless chain, concat merge.
+		{"cat /in | tr a-z A-Z | grep E", [][]string{{"tr", "a-z", "A-Z"}, {"grep", "E"}}},
+		// Order-aware merge-sort aggregation.
+		{"cat /in | sort", [][]string{{"sort"}}},
+		{"cat /in | tr a-z A-Z | sort -r", [][]string{{"tr", "a-z", "A-Z"}, {"sort", "-r"}}},
+		// Round-robin split with a sum aggregator.
+		{"cat /in | wc -l", [][]string{{"wc", "-l"}}},
+		{"cat /in | grep -v the | wc -l", [][]string{{"grep", "-v", "the"}, {"wc", "-l"}}},
+		// Blocking tail after a parallel segment.
+		{"cat /in | sort | head -n 20", [][]string{{"sort"}, {"head", "-n", "20"}}},
+	}
+	for _, tc := range cases {
+		in := interp.New(fs)
+		var interpOut bytes.Buffer
+		in.Stdout = &interpOut
+		in.Stderr = &bytes.Buffer{}
+		if _, err := in.RunScript(tc.script + "\n"); err != nil {
+			t.Fatalf("interp %q: %v", tc.script, err)
+		}
+		g, err := dfg.FromPipeline(tc.argvs, lib, dfg.Binding{StdinFile: "/in"})
+		if err != nil {
+			t.Fatalf("translate %q: %v", tc.script, err)
+		}
+		var seqOut bytes.Buffer
+		if _, err := Run(g, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+			Stdout: &seqOut, Stderr: &bytes.Buffer{}}); err != nil {
+			t.Fatalf("exec %q: %v", tc.script, err)
+		}
+		if interpOut.String() != seqOut.String() {
+			t.Fatalf("%q: interp vs dataflow diverge (%d vs %d bytes)",
+				tc.script, interpOut.Len(), seqOut.Len())
+		}
+		for _, width := range []int{2, 4, 8} {
+			par, err := rewrite.Parallelize(g, rewrite.Options{Width: width})
+			if err != nil {
+				continue
+			}
+			var parOut bytes.Buffer
+			if _, err := Run(par, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+				Stdout: &parOut, Stderr: &bytes.Buffer{}}); err != nil {
+				t.Fatalf("%q width %d: %v", tc.script, width, err)
+			}
+			if parOut.String() != seqOut.String() {
+				t.Fatalf("%q: width-%d plan diverges (%d vs %d bytes)",
+					tc.script, width, seqOut.Len(), parOut.Len())
+			}
+		}
+	}
+}
+
 // TestDifferentialSeededVariants re-runs a smaller sweep with different
 // corpus shapes (numeric, duplicate-heavy, empty lines).
 func TestDifferentialSeededVariants(t *testing.T) {

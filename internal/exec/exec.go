@@ -1,18 +1,24 @@
 // Package exec runs dataflow graphs for real: every node becomes a
-// goroutine, every edge an in-memory pipe, and command nodes dispatch to
-// the hermetic coreutils. It is the execution backend the Jash JIT hands
-// optimized plans to, and the oracle the tests use to check that rewritten
-// graphs are output-equivalent to the original pipelines.
+// goroutine, every edge a bounded in-memory pipe, and command nodes
+// dispatch to the hermetic coreutils. It is the execution backend the Jash
+// JIT hands optimized plans to, and the oracle the tests use to check that
+// rewritten graphs are output-equivalent to the original pipelines.
 //
-// Fidelity notes: split nodes buffer their input to cut it into
-// line-aligned consecutive chunks (PaSh splits by byte ranges of the input
-// file; buffering is equivalent at our scale and keeps the executor
-// simple), and multi-input commands (comm, join, merge) materialize their
-// side inputs to temporary VFS files. Predicted performance comes from
-// package cost, not from wall-clocking this executor.
+// The executor is a streaming dataflow machine: split nodes chunk their
+// input incrementally at line boundaries and forward data as it arrives,
+// order-aware merges pull one line at a time per lane, and every edge is a
+// fixed-capacity pipe (cost.PipeBufferBytes) that backpressures producers
+// which outrun their consumers. No node's resident buffering grows with
+// the input; the only materialization left is for genuinely blocking side
+// inputs (comm's dictionary, join's second file), which are streamed to
+// temporary VFS files. Per-node runtime counters — bytes in/out, peak
+// buffered bytes, wall time — are reported through Env.Metrics so
+// `jash -stats` and the benchmark harness can put measured data movement
+// next to the cost model's predictions.
 package exec
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -20,8 +26,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"jash/internal/coreutils"
+	"jash/internal/cost"
 	"jash/internal/dfg"
 	"jash/internal/spec"
 	"jash/internal/vfs"
@@ -36,6 +44,9 @@ type Env struct {
 	Stderr io.Writer
 	// Getenv resolves environment variables for command nodes; may be nil.
 	Getenv func(string) string
+	// Metrics, when non-nil, receives per-node runtime counters (appended
+	// in topological order) once the run completes.
+	Metrics *RunMetrics
 
 	// tmpDir is the per-run scratch directory, set by Run.
 	tmpDir string
@@ -64,6 +75,7 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 		return 2, err
 	}
 	runEnv := *env
+	metrics := env.Metrics
 	runEnv.tmpDir = fmt.Sprintf("/.jash-tmp/run-%d", tmpSeq.Add(1))
 	// Node goroutines write Stdout (sink) and Stderr (diagnostics)
 	// concurrently; a caller may pass the same writer for both, so route
@@ -84,17 +96,22 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	// Build one pipe per edge.
+	// Build one bounded pipe per edge.
 	type pipeEnds struct {
-		r *io.PipeReader
-		w *io.PipeWriter
+		r *bpReader
+		w *bpWriter
 	}
 	pipes := map[*dfg.Edge]*pipeEnds{}
 	for _, e := range g.Edges {
-		r, w := io.Pipe()
+		r, w := newBoundedPipe(cost.PipeBufferBytes)
 		pipes[e] = &pipeEnds{r, w}
 	}
+	counters := map[int]*nodeCounters{}
+	for _, n := range order {
+		counters[n.ID] = &nodeCounters{}
+	}
 	statuses := map[int]*int{}
+	walls := map[int]time.Duration{}
 	var mu sync.Mutex
 	setStatus := func(id, st int) {
 		mu.Lock()
@@ -114,15 +131,22 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 		wg.Add(1)
 		go func(n *dfg.Node) {
 			defer wg.Done()
+			start := time.Now()
+			ctr := counters[n.ID]
+			defer func() {
+				mu.Lock()
+				walls[n.ID] = time.Since(start)
+				mu.Unlock()
+			}()
 			ins := g.In(n.ID)
 			outs := g.Out(n.ID)
 			inReaders := make([]io.Reader, len(ins))
 			for i, e := range ins {
-				inReaders[i] = pipes[e].r
+				inReaders[i] = &countingReader{pipes[e].r, &ctr.in}
 			}
 			outWriters := make([]io.Writer, len(outs))
 			for i, e := range outs {
-				outWriters[i] = pipes[e].w
+				outWriters[i] = &countingWriter{pipes[e].w, &ctr.out}
 			}
 			closeOuts := func() {
 				for _, e := range outs {
@@ -154,7 +178,7 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 					defer rc.Close()
 					src = rc
 				}
-				io.Copy(outWriters[0], src)
+				io.Copy(outWriters[0], &countingReader{src, &ctr.in})
 				setStatus(n.ID, 0)
 			case dfg.KindSink:
 				var dst io.Writer = env.Stdout
@@ -177,10 +201,15 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 					defer w.Close()
 					dst = w
 				}
-				io.Copy(dst, inReaders[0])
+				io.Copy(&countingWriter{dst, &ctr.out}, inReaders[0])
 				setStatus(n.ID, 0)
 			case dfg.KindSplit:
-				setStatus(n.ID, runSplit(inReaders[0], outWriters))
+				closers := make([]func(), len(outs))
+				for i, e := range outs {
+					w := pipes[e].w
+					closers[i] = func() { w.Close() }
+				}
+				setStatus(n.ID, runSplit(n, inReaders[0], outWriters, closers, splitLaneTarget(g, n, env)))
 			case dfg.KindMerge:
 				setStatus(n.ID, runMerge(n, inReaders, outWriters[0], env))
 			case dfg.KindCommand:
@@ -189,6 +218,23 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 		}(n)
 	}
 	wg.Wait()
+	if metrics != nil {
+		for _, n := range order {
+			ctr := counters[n.ID]
+			nm := NodeMetrics{
+				ID:       n.ID,
+				Kind:     n.Kind.String(),
+				Label:    n.Label(),
+				BytesIn:  ctr.in.Load(),
+				BytesOut: ctr.out.Load(),
+				Wall:     walls[n.ID],
+			}
+			for _, e := range g.Out(n.ID) {
+				nm.PeakBufferedBytes += int64(pipes[e].r.p.peakBuffered())
+			}
+			metrics.Nodes = append(metrics.Nodes, nm)
+		}
+	}
 	// Pipeline status: the node feeding the sink.
 	sink := g.Sink()
 	final := 0
@@ -213,23 +259,106 @@ func lookup(dir, p string) string {
 	return strings.TrimSuffix(dir, "/") + "/" + p
 }
 
-// runSplit cuts the input into len(outs) line-aligned consecutive chunks.
-func runSplit(in io.Reader, outs []io.Writer) int {
-	data, err := io.ReadAll(in)
-	if err != nil {
-		return 1
+// splitLaneTarget picks the per-lane byte quota for a consecutive split.
+// The rewriter always places the splitter directly after a source node, so
+// the streaming splitter can size lanes by stat'ing the source; when the
+// volume is unknown (terminal stdin) it falls back to a fixed quota and
+// the last lane takes the remainder.
+func splitLaneTarget(g *dfg.Graph, n *dfg.Node, env *Env) int64 {
+	width := int64(n.Width)
+	if width < 1 {
+		width = 1
 	}
-	chunks := splitLines(data, len(outs))
-	for i, w := range outs {
-		if len(chunks[i]) > 0 {
-			w.Write(chunks[i])
+	ins := g.In(n.ID)
+	if len(ins) == 1 {
+		if up := g.Nodes[ins[0].From]; up != nil && up.Kind == dfg.KindSource && up.Path != "" {
+			if fi, err := env.FS.Stat(lookup(env.Dir, up.Path)); err == nil {
+				t := (fi.Size + width - 1) / width
+				if t < 1 {
+					t = 1
+				}
+				return t
+			}
 		}
 	}
-	return 0
+	return cost.SplitLaneFallbackBytes
+}
+
+// splitLane tracks one output lane of a streaming split. The small bufio
+// layer batches per-line writes into pipe-sized ones.
+type splitLane struct {
+	bw    *bufio.Writer
+	close func()
+	dead  bool
+}
+
+// runSplit cuts the input into line-aligned chunks and forwards them to
+// the lanes as they are read — the input is never materialized. Under the
+// consecutive discipline a lane's writer is closed as soon as the splitter
+// advances past it, so its downstream stages see EOF (and can flush toward
+// the merge) while later lanes are still filling; that hand-off keeps
+// split + order-aware merge live under bounded buffering. The round-robin
+// discipline rotates lanes per line and closes nothing early, which only
+// order-insensitive (sum) merges may consume. Lanes whose consumer hung up
+// are skipped rather than aborting the whole split.
+func runSplit(n *dfg.Node, in io.Reader, outs []io.Writer, closeLane []func(), laneTarget int64) int {
+	br := bufio.NewReaderSize(in, cost.SplitChunkBytes)
+	lanes := make([]*splitLane, len(outs))
+	for i := range outs {
+		lanes[i] = &splitLane{bw: bufio.NewWriterSize(outs[i], 16<<10), close: closeLane[i]}
+	}
+	lane, last := 0, len(outs)-1
+	deadCount := 0
+	var laneBytes int64
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 {
+			l := lanes[lane]
+			if !l.dead {
+				if _, werr := l.bw.Write(chunk); werr != nil {
+					l.dead = true
+					deadCount++
+					if deadCount == len(outs) {
+						return 0 // every consumer hung up
+					}
+				}
+			}
+			laneBytes += int64(len(chunk))
+			// Lane switches happen only at line boundaries: a fragment cut
+			// short by a full read buffer stays on the current lane.
+			if chunk[len(chunk)-1] == '\n' {
+				if n.Dist == dfg.DistRoundRobin {
+					lane = (lane + 1) % len(outs)
+					laneBytes = 0
+				} else if lane < last && laneBytes >= laneTarget {
+					if !l.dead {
+						l.bw.Flush()
+					}
+					l.close()
+					lane++
+					laneBytes = 0
+				}
+			}
+		}
+		switch err {
+		case nil, bufio.ErrBufferFull:
+		case io.EOF:
+			for _, l := range lanes {
+				if !l.dead {
+					l.bw.Flush()
+				}
+			}
+			return 0
+		default:
+			return 1
+		}
+	}
 }
 
 // splitLines divides data into n consecutive chunks on line boundaries,
-// sized as evenly as the lines allow.
+// sized as evenly as the lines allow. It is the reference specification of
+// the consecutive chunking the streaming splitter performs incrementally,
+// kept for the property tests.
 func splitLines(data []byte, n int) [][]byte {
 	chunks := make([][]byte, n)
 	if len(data) == 0 {
@@ -257,7 +386,9 @@ func splitLines(data []byte, n int) [][]byte {
 	return chunks
 }
 
-// runMerge recombines lane outputs per the aggregation discipline.
+// runMerge recombines lane outputs per the aggregation discipline, pulling
+// from the lane streams incrementally — lane outputs are never
+// materialized.
 func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 	switch n.Agg {
 	case spec.AggConcat:
@@ -268,44 +399,37 @@ func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 		}
 		return 0
 	case spec.AggMergeSort:
-		// Materialize lanes and run the merge command (e.g. sort -m).
-		paths := make([]string, len(ins))
-		for i, r := range ins {
-			data, err := io.ReadAll(r)
-			if err != nil {
-				return 1
-			}
-			p := fmt.Sprintf("%s/merge-%d-%d", env.tmpDir, tmpSeq.Add(1), i)
-			if err := env.FS.WriteFile(p, data); err != nil {
-				return 1
-			}
-			paths[i] = p
+		// Order-aware k-way merge (sort -m) directly over the lane streams.
+		ctx := &coreutils.Context{
+			FS:     env.FS,
+			Dir:    env.Dir,
+			Stdin:  strings.NewReader(""),
+			Stdout: out,
+			Stderr: errWriter(env),
+			Getenv: env.Getenv,
 		}
-		defer func() {
-			for _, p := range paths {
-				env.FS.Remove(p)
-			}
-		}()
-		argv := append(append([]string(nil), n.Argv...), paths...)
-		return dispatch(argv, strings.NewReader(""), out, env)
+		return coreutils.MergeSortedStreams(ctx, n.Argv, ins)
 	case spec.AggSum:
-		// Sum whitespace-separated numeric columns across lanes.
+		// Sum whitespace-separated numeric columns across lanes, scanning
+		// each lane line by line.
 		var sums []int64
 		for _, r := range ins {
-			data, err := io.ReadAll(r)
-			if err != nil {
-				return 1
+			sc := bufio.NewScanner(r)
+			sc.Buffer(make([]byte, 64<<10), 16<<20)
+			for sc.Scan() {
+				for i, f := range strings.Fields(sc.Text()) {
+					v, err := strconv.ParseInt(f, 10, 64)
+					if err != nil {
+						continue
+					}
+					for len(sums) <= i {
+						sums = append(sums, 0)
+					}
+					sums[i] += v
+				}
 			}
-			fields := strings.Fields(string(data))
-			for i, f := range fields {
-				v, err := strconv.ParseInt(f, 10, 64)
-				if err != nil {
-					continue
-				}
-				for len(sums) <= i {
-					sums = append(sums, 0)
-				}
-				sums[i] += v
+			if sc.Err() != nil {
+				return 1
 			}
 		}
 		parts := make([]string, len(sums))
@@ -319,8 +443,10 @@ func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 }
 
 // runCommand executes a command node. Single-input nodes stream via
-// stdin; multi-input nodes materialize their ports to temporary files in
-// port order and append the paths to the argv.
+// stdin. Multi-input nodes stream the port the translator marked as
+// primary (its operand becomes "-" on the rebuilt argv) and materialize
+// the genuinely blocking side ports to temporary files with streaming
+// copies, appending operands in port order.
 func runCommand(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 	if len(ins) <= 1 {
 		var stdin io.Reader = strings.NewReader("")
@@ -329,25 +455,43 @@ func runCommand(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 		}
 		return dispatch(n.Argv, stdin, out, env)
 	}
-	paths := make([]string, len(ins))
-	for i, r := range ins {
-		data, err := io.ReadAll(r)
-		if err != nil {
-			return 1
-		}
-		p := fmt.Sprintf("%s/port-%d-%d", env.tmpDir, tmpSeq.Add(1), i)
-		if err := env.FS.WriteFile(p, data); err != nil {
-			return 1
-		}
-		paths[i] = p
-	}
+	var stdin io.Reader = strings.NewReader("")
+	operands := make([]string, len(ins))
+	var tmps []string
 	defer func() {
-		for _, p := range paths {
+		for _, p := range tmps {
 			env.FS.Remove(p)
 		}
 	}()
-	argv := append(append([]string(nil), n.Argv...), paths...)
-	return dispatch(argv, strings.NewReader(""), out, env)
+	for i, r := range ins {
+		if i < len(n.StreamPorts) && n.StreamPorts[i] {
+			stdin = r
+			operands[i] = "-"
+			continue
+		}
+		p := fmt.Sprintf("%s/port-%d-%d", env.tmpDir, tmpSeq.Add(1), i)
+		if err := materialize(env, p, r); err != nil {
+			return 1
+		}
+		tmps = append(tmps, p)
+		operands[i] = p
+	}
+	argv := append(append([]string(nil), n.Argv...), operands...)
+	return dispatch(argv, stdin, out, env)
+}
+
+// materialize streams r into a fresh file without whole-input buffering in
+// the executor.
+func materialize(env *Env, path string, r io.Reader) error {
+	w, err := env.FS.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(w, r); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 func dispatch(argv []string, stdin io.Reader, out io.Writer, env *Env) int {

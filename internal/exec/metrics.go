@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// NodeMetrics are the measured runtime counters of one graph node: the
+// ground truth `jash -stats` and the benchmark harness put next to the
+// cost model's predictions.
+type NodeMetrics struct {
+	ID    int
+	Kind  string
+	Label string
+	// BytesIn / BytesOut count the bytes the node consumed from its
+	// input edges and produced onto its output edges (for sinks, the
+	// bytes written to the final destination).
+	BytesIn  int64
+	BytesOut int64
+	// PeakBufferedBytes is the high-water mark of bytes resident in the
+	// node's outgoing bounded pipes — bounded by width × the pipe
+	// capacity regardless of input size.
+	PeakBufferedBytes int64
+	// Wall is the node goroutine's lifetime (overlapped across nodes, so
+	// the per-node walls do not sum to the run's wall time).
+	Wall time.Duration
+}
+
+// RunMetrics collects per-node counters for one graph execution. Attach
+// an empty RunMetrics to Env.Metrics before Run to receive them.
+type RunMetrics struct {
+	// Nodes is in topological order.
+	Nodes []NodeMetrics
+}
+
+// TotalBytesMoved sums the bytes every node produced — the run's actual
+// data movement.
+func (m *RunMetrics) TotalBytesMoved() int64 {
+	var total int64
+	for _, n := range m.Nodes {
+		total += n.BytesOut
+	}
+	return total
+}
+
+// MaxPeakBuffered reports the largest per-node buffered high-water mark.
+func (m *RunMetrics) MaxPeakBuffered() int64 {
+	var max int64
+	for _, n := range m.Nodes {
+		if n.PeakBufferedBytes > max {
+			max = n.PeakBufferedBytes
+		}
+	}
+	return max
+}
+
+// nodeCounters accumulate a node's traffic while its goroutine runs.
+type nodeCounters struct {
+	in, out atomic.Int64
+}
+
+// countingReader counts bytes delivered to a node.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// countingWriter counts bytes a node produced.
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}

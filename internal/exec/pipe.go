@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"io"
+	"sync"
+)
+
+// boundedPipe is a fixed-capacity, backpressured byte pipe: the edge
+// primitive of the streaming executor. Unlike io.Pipe it buffers up to
+// cap(buf) bytes, so producer and consumer overlap without either side
+// being able to accumulate unbounded data — a writer that outruns its
+// reader blocks once the ring is full. It tracks the high-water mark of
+// resident bytes for the per-node runtime counters.
+//
+// Close semantics mirror io.Pipe: closing the write end delivers EOF to
+// the reader after the buffered bytes drain; closing the read end makes
+// every subsequent (or blocked) write fail with io.ErrClosedPipe, which
+// is how early-exiting consumers (head) terminate their upstreams.
+type boundedPipe struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	buf  []byte // ring buffer
+	r, w int    // read/write cursors
+	n    int    // bytes resident
+	peak int    // high-water mark of n
+
+	werr error // non-nil once the write end closed (io.EOF = clean)
+	rerr error // non-nil once the read end closed
+}
+
+// newBoundedPipe returns the two ends of a pipe with the given capacity.
+func newBoundedPipe(capacity int) (*bpReader, *bpWriter) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	p := &boundedPipe{buf: make([]byte, capacity)}
+	p.cond.L = &p.mu
+	return &bpReader{p}, &bpWriter{p}
+}
+
+func (p *boundedPipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == 0 {
+		if p.rerr != nil {
+			return 0, io.ErrClosedPipe
+		}
+		if p.werr != nil {
+			return 0, p.werr
+		}
+		p.cond.Wait()
+	}
+	total := 0
+	for total < len(b) && p.n > 0 {
+		chunk := len(p.buf) - p.r
+		if chunk > p.n {
+			chunk = p.n
+		}
+		if chunk > len(b)-total {
+			chunk = len(b) - total
+		}
+		copy(b[total:], p.buf[p.r:p.r+chunk])
+		p.r = (p.r + chunk) % len(p.buf)
+		p.n -= chunk
+		total += chunk
+	}
+	p.cond.Broadcast()
+	return total, nil
+}
+
+func (p *boundedPipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for total < len(b) {
+		if p.rerr != nil {
+			return total, io.ErrClosedPipe
+		}
+		if p.werr != nil {
+			return total, io.ErrClosedPipe
+		}
+		if p.n == len(p.buf) {
+			p.cond.Wait()
+			continue
+		}
+		chunk := len(p.buf) - p.w
+		if free := len(p.buf) - p.n; chunk > free {
+			chunk = free
+		}
+		if chunk > len(b)-total {
+			chunk = len(b) - total
+		}
+		copy(p.buf[p.w:p.w+chunk], b[total:total+chunk])
+		p.w = (p.w + chunk) % len(p.buf)
+		p.n += chunk
+		if p.n > p.peak {
+			p.peak = p.n
+		}
+		total += chunk
+		p.cond.Broadcast()
+	}
+	return total, nil
+}
+
+func (p *boundedPipe) closeWrite(err error) {
+	if err == nil {
+		err = io.EOF
+	}
+	p.mu.Lock()
+	if p.werr == nil {
+		p.werr = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *boundedPipe) closeRead() {
+	p.mu.Lock()
+	if p.rerr == nil {
+		p.rerr = io.ErrClosedPipe
+	}
+	// Discard resident bytes: nobody will read them, and a blocked
+	// writer must observe the hangup immediately.
+	p.n = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// peakBuffered reports the pipe's high-water mark of resident bytes.
+func (p *boundedPipe) peakBuffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// bpReader is the read end of a bounded pipe.
+type bpReader struct{ p *boundedPipe }
+
+func (r *bpReader) Read(b []byte) (int, error) { return r.p.read(b) }
+
+// Close hangs up the read end; blocked and future writes fail.
+func (r *bpReader) Close() error { r.p.closeRead(); return nil }
+
+// bpWriter is the write end of a bounded pipe.
+type bpWriter struct{ p *boundedPipe }
+
+func (w *bpWriter) Write(b []byte) (int, error) { return w.p.write(b) }
+
+// Close marks the stream complete; the reader sees EOF after draining.
+func (w *bpWriter) Close() error { w.p.closeWrite(nil); return nil }
+
+// CloseWithError marks the stream failed with err.
+func (w *bpWriter) CloseWithError(err error) error { w.p.closeWrite(err); return nil }

@@ -361,15 +361,38 @@ func builtinExec(in *Interp, args []string) int {
 	panic(exitSignal{in.Status})
 }
 
-// builtinLocal is accepted for compatibility; without function-scoped
-// variable frames it behaves as plain assignment.
+// builtinLocal declares function-scoped variables: the shadowed (or
+// previously unset) binding is recorded in the innermost call frame and
+// restored when the function returns. Outside a function it degrades to
+// plain assignment.
 func builtinLocal(in *Interp, args []string) int {
+	var frame map[string]*Variable
+	if len(in.localFrames) > 0 {
+		frame = in.localFrames[len(in.localFrames)-1]
+	}
 	for _, a := range args[1:] {
 		name, value, hasValue := strings.Cut(a, "=")
-		if hasValue {
+		if frame != nil {
+			if _, saved := frame[name]; !saved {
+				if old, ok := in.Vars[name]; ok {
+					prev := old
+					frame[name] = &prev
+				} else {
+					frame[name] = nil
+				}
+			}
+		}
+		switch {
+		case hasValue:
 			in.Setenv(name, value)
-		} else if _, ok := in.Vars[name]; !ok {
+		case frame != nil:
+			// Inside a function `local x` declares a fresh empty local,
+			// regardless of any outer value.
 			in.Setenv(name, "")
+		default:
+			if _, ok := in.Vars[name]; !ok {
+				in.Setenv(name, "")
+			}
 		}
 	}
 	return 0

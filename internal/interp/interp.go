@@ -66,15 +66,22 @@ type Interp struct {
 	Exited bool
 
 	loopDepth int
+
+	// localFrames stacks the saved bindings of active function calls:
+	// builtinLocal records each shadowed (or previously unset) variable in
+	// the innermost frame, and callFunction restores them on return.
+	localFrames []map[string]*Variable
 }
 
 // New returns an interpreter over the given filesystem with standard
 // streams discarded (replace Stdin/Stdout/Stderr as needed).
 func New(fs *vfs.FS) *Interp {
 	return &Interp{
-		FS:     fs,
-		Dir:    "/",
-		Vars:   map[string]Variable{},
+		FS:  fs,
+		Dir: "/",
+		// POSIX requires PWD to reflect the working directory from shell
+		// startup, not only after the first cd.
+		Vars:   map[string]Variable{"PWD": {Value: "/", Exported: true}},
 		Funcs:  map[string]syntax.Command{},
 		Name0:  "jash",
 		Stdin:  strings.NewReader(""),
@@ -633,7 +640,19 @@ func (in *Interp) dispatch(fields []string) {
 func (in *Interp) callFunction(body syntax.Command, fields []string) {
 	savedParams := in.Params
 	in.Params = fields[1:]
+	in.localFrames = append(in.localFrames, map[string]*Variable{})
 	defer func() {
+		// Unwind the function's local frame: restore shadowed bindings,
+		// remove variables that were unset before the call.
+		frame := in.localFrames[len(in.localFrames)-1]
+		in.localFrames = in.localFrames[:len(in.localFrames)-1]
+		for name, old := range frame {
+			if old == nil {
+				delete(in.Vars, name)
+			} else {
+				in.Vars[name] = *old
+			}
+		}
 		in.Params = savedParams
 		if r := recover(); r != nil {
 			if sig, ok := r.(returnSignal); ok {

@@ -565,6 +565,35 @@ func TestLocalBuiltin(t *testing.T) {
 	wantOut(t, "f() { local v=inner; echo $v; }; f", "inner\n")
 }
 
+func TestLocalRestoresShadowedVariable(t *testing.T) {
+	// A local that shadows an outer variable must restore it on return.
+	wantOut(t, "v=outer; f() { local v=inner; echo $v; }; f; echo $v",
+		"inner\nouter\n")
+	// A local with no outer binding must be unset again after return.
+	wantOut(t, "f() { local v=inner; }; f; echo end${v}end", "endend\n")
+	// `local x` with no value declares a fresh empty local even when an
+	// outer value exists.
+	wantOut(t, "v=outer; f() { local v; echo in=$v; }; f; echo out=$v",
+		"in=\nout=outer\n")
+	// Restoration survives nested calls and early `return`.
+	wantOut(t, `v=1
+g() { local v=3; return; }
+f() { local v=2; g; echo f=$v; }
+f
+echo top=$v
+`, "f=2\ntop=1\n")
+}
+
+func TestPWDSetAtStartup(t *testing.T) {
+	wantOut(t, "echo $PWD", "/\n")
+	// cd keeps it in sync (already covered elsewhere, but PWD must start
+	// exported so child utilities see it).
+	out, _, _ := runScript(t, nil, "env | grep '^PWD='")
+	if !strings.Contains(out, "PWD=/") {
+		t.Errorf("PWD not exported at startup: %q", out)
+	}
+}
+
 func TestBadFdDup(t *testing.T) {
 	_, errs, st := runScript(t, nil, "echo x 2>&9")
 	if st == 0 || !strings.Contains(errs, "bad fd") {

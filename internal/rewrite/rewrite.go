@@ -137,13 +137,20 @@ func Parallelize(g *dfg.Graph, opts Options) (*dfg.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Determine the merge discipline.
+	// Determine the merge discipline, and from it the split discipline:
+	// order-aware merges (concat, sort -m) need consecutive chunks to
+	// keep output byte-identical with the sequential run; only the
+	// commutative sum aggregator tolerates round-robin distribution.
 	agg := spec.AggConcat
+	dist := dfg.DistConsecutive
 	var mergeArgv []string
 	if seg.tail != nil {
 		agg = seg.tail.Spec.Agg
 		if agg == spec.AggMergeSort {
 			mergeArgv = append([]string{seg.tail.Argv[0], "-m"}, seg.tail.Argv[1:]...)
+		}
+		if agg == spec.AggSum {
+			dist = dfg.DistRoundRobin
 		}
 	}
 	// Disconnect the segment from the graph.
@@ -155,7 +162,7 @@ func Parallelize(g *dfg.Graph, opts Options) (*dfg.Graph, error) {
 		ng.RemoveNode(n.ID)
 	}
 	// Build split -> lanes -> merge.
-	split := ng.AddNode(&dfg.Node{Kind: dfg.KindSplit, Width: opts.Width})
+	split := ng.AddNode(&dfg.Node{Kind: dfg.KindSplit, Width: opts.Width, Dist: dist})
 	ng.Connect(ng.Nodes[seg.pre.ID], split)
 	merge := ng.AddNode(&dfg.Node{Kind: dfg.KindMerge, Agg: agg, Argv: mergeArgv, Width: opts.Width})
 	for lane := 0; lane < opts.Width; lane++ {

@@ -75,6 +75,7 @@ func builtinSpecs() []*Spec {
 			FlagDocs: map[string]string{
 				"-l": "lines only", "-w": "words only", "-c": "bytes only",
 			},
+			refine: refineWc,
 		},
 		{
 			Name: "head", Version: "1.0", Class: Blocking, Agg: AggNone,
@@ -224,6 +225,20 @@ func refineGrep(e *Effective, args []string) {
 				e.Agg = AggNone
 			}
 		}
+	}
+}
+
+// refineWc: with explicit file operands, wc prints one row per file with
+// its name (plus a total row), so the output is no longer a bare sum of
+// per-chunk counts — and the executor feeds materialized ports under
+// temporary names, which would corrupt the printed names. Marking it
+// SideEffectful aborts dataflow translation entirely (a Blocking node
+// would still enter the graph and get temp-named ports); stdin-only wc
+// stays a parallel sum.
+func refineWc(e *Effective, args []string) {
+	if len(e.InputFiles) > 0 {
+		e.Class = SideEffectful
+		e.Agg = AggNone
 	}
 }
 

@@ -27,6 +27,11 @@ func TestResolveClasses(t *testing.T) {
 		{[]string{"sort", "-c"}, Blocking},
 		{[]string{"uniq", "-c"}, Blocking},
 		{[]string{"wc", "-l"}, Parallelizable},
+		// With file operands wc prints per-file rows with names, which the
+		// executor's temp-file port names would corrupt: keep it out of
+		// dataflow entirely.
+		{[]string{"wc", "-l", "a.txt"}, SideEffectful},
+		{[]string{"wc", "a.txt", "b.txt"}, SideEffectful},
 		{[]string{"head", "-n1"}, Blocking},
 		{[]string{"tail"}, Blocking},
 		{[]string{"comm", "-13", "a", "b"}, Blocking},
