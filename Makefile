@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench clean
+.PHONY: all build test vet race fault verify bench clean
 
 all: verify
 
@@ -18,8 +18,14 @@ vet:
 race:
 	$(GO) test -race ./internal/exec/... ./internal/interp/...
 
+# The fault suite: injected failures, panics, and cancellations at every
+# plan position must tear down cleanly and fall back byte-identically.
+fault:
+	$(GO) test -race -count=2 -run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane' \
+		./internal/exec/... ./internal/core/...
+
 # verify is the tier-1 gate: everything a change must pass before merge.
-verify: vet build test race
+verify: vet build test race fault
 
 bench:
 	$(GO) run ./cmd/jashbench all

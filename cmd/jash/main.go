@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ func run() int {
 		trace       = flag.Bool("trace", false, "log JIT decisions to stderr")
 		stats       = flag.Bool("stats", false, "print session statistics on exit")
 		increm      = flag.Bool("incremental", false, "memoize dataflow regions across re-runs")
+		timeout     = flag.Duration("timeout", 0, "bound the session; expiry tears running plans down and exits 124")
 		interactive = flag.Bool("i", false, "interactive: read commands line by line with a prompt")
 		imports     multiFlag
 		words       multiFlag
@@ -110,11 +112,19 @@ func run() int {
 		return 2
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *interactive {
 		sh := core.New(fs, prof, m)
 		sh.Interp.Stdin = strings.NewReader("")
 		sh.Interp.Stdout = os.Stdout
 		sh.Interp.Stderr = os.Stderr
+		sh.Ctx = ctx
 		if *trace {
 			sh.Trace = os.Stderr
 		}
@@ -159,6 +169,7 @@ func run() int {
 	}
 	sh.Interp.Stdout = os.Stdout
 	sh.Interp.Stderr = os.Stderr
+	sh.Ctx = ctx
 	if *trace {
 		sh.Trace = os.Stderr
 	}
@@ -233,5 +244,8 @@ func repl(sh *core.Shell) int {
 		fmt.Fprint(os.Stderr, prompt)
 	}
 	fmt.Fprintln(os.Stderr)
+	// End of input ends the session: fire the EXIT trap like a real shell
+	// does on a Ctrl-D logout.
+	sh.Interp.RunExitTrap()
 	return sh.Interp.Status
 }

@@ -26,6 +26,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"jash/internal/cost"
 	"jash/internal/dfg"
 	"jash/internal/exec"
+	"jash/internal/exec/faultinject"
 	"jash/internal/expand"
 	"jash/internal/incr"
 	"jash/internal/interp"
@@ -89,6 +92,10 @@ type Stats struct {
 	VirtualSeconds float64
 	Optimized      int
 	Interpreted    int
+	// Fallbacks counts optimized plans that failed before emitting any
+	// output and were transparently re-run through the interpreter — the
+	// paper's no-regression rule extended to faults.
+	Fallbacks int
 }
 
 // Shell is a Jash session.
@@ -105,6 +112,14 @@ type Shell struct {
 	// the JIT's up-to-date knowledge of input state). Enable with
 	// EnableIncremental.
 	Incremental *incr.Runner
+	// Ctx, when non-nil, bounds every optimized execution: cancellation or
+	// deadline expiry tears running plans down and makes the session exit
+	// with status 124 (the timeout(1) convention). External cancellation
+	// never triggers the interpreter fallback.
+	Ctx context.Context
+	// Faults, when non-nil, is forwarded to the executor's fault-injection
+	// harness (tests only).
+	Faults *faultinject.Set
 
 	Stats Stats
 }
@@ -133,9 +148,19 @@ func New(fs *vfs.FS, profile *cost.Profile, mode Mode) *Shell {
 // command is parsed, dispatched, and finished before the next is even
 // parsed — so each command sees the shell state its predecessors left.
 func (s *Shell) Run(src string) (int, error) {
+	if s.Ctx != nil {
+		// Interpreted commands honor the session deadline too: coreutils
+		// compute loops poll this channel.
+		s.Interp.Cancel = s.Ctx.Done()
+	}
 	rest := src
 	status := 0
 	for rest != "" {
+		// A session deadline that expired between commands stops the
+		// script with the timeout convention's status.
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			return 124, s.Ctx.Err()
+		}
 		stmts, n, err := syntax.ParseCommand(rest)
 		if err != nil {
 			return 2, err
@@ -151,9 +176,20 @@ func (s *Shell) Run(src string) (int, error) {
 		if err != nil {
 			return status, err
 		}
+		// A deadline that expired while the command ran (its compute
+		// loops unwound via Interp.Cancel) also reports the timeout.
+		if s.Ctx != nil && s.Ctx.Err() != nil {
+			return 124, s.Ctx.Err()
+		}
 		if s.Interp.Exited {
 			break
 		}
+	}
+	// The EXIT trap fires when the session ends (builtinExit already
+	// consumed it if the script exited explicitly).
+	s.Interp.RunExitTrap()
+	if !s.Interp.Exited {
+		status = s.Interp.Status
 	}
 	return status, nil
 }
@@ -239,23 +275,53 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		Stderr:  in.Stderr,
 		Getenv:  in.Getenv,
 		Metrics: metrics,
+		Faults:  s.Faults,
+	}
+	ctx := s.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var status int
 	var runErr error
 	if s.Incremental != nil {
 		var kind string
-		status, kind, runErr = s.Incremental.Run(chosen, env)
+		status, kind, runErr = s.Incremental.RunContext(ctx, chosen, env)
 		if s.Trace != nil && runErr == nil {
 			fmt.Fprintf(s.Trace, "jash[%s]: incremental cache: %s\n", s.Mode, kind)
 		}
 	} else {
-		status, runErr = exec.Run(chosen, env)
+		status, runErr = exec.RunContext(ctx, chosen, env)
 	}
 	// Attach the measured counters to the decision recorded above.
 	if len(s.Stats.Decisions) > 0 {
 		s.Stats.Decisions[len(s.Stats.Decisions)-1].Nodes = metrics.Nodes
 	}
 	if runErr != nil {
+		// External cancellation is a user-imposed bound, not a plan defect:
+		// surface it (timeout convention, status 124) instead of re-running
+		// the region — a fallback would evade the user's deadline. No
+		// diagnostic here: Run's deadline check reports it once.
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			return 124, true
+		}
+		// Fallback-before-first-byte: if the failed plan emitted nothing,
+		// the interpreter can re-run the pipeline from pristine state —
+		// the paper's no-regression rule extended to faults. Analyze
+		// already guaranteed every source is a regular file (never live
+		// stdin), so the re-run reads the same inputs.
+		if metrics.SinkBytes == 0 {
+			s.Stats.Fallbacks++
+			if len(s.Stats.Decisions) > 0 {
+				d := &s.Stats.Decisions[len(s.Stats.Decisions)-1]
+				d.Strategy = "fallback-interpret"
+				d.Reason = fmt.Sprintf("plan failed before first output byte (%v); re-run via interpreter", runErr)
+			}
+			if s.Trace != nil {
+				fmt.Fprintf(s.Trace, "jash[%s]: plan failed (%v); falling back to interpreter\n", s.Mode, runErr)
+			}
+			return 0, false
+		}
+		// Partial output already escaped: a re-run would duplicate it.
 		fmt.Fprintf(in.Stderr, "jash: %v\n", runErr)
 		return 1, true
 	}

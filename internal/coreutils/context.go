@@ -30,6 +30,23 @@ type Context struct {
 	Getenv func(string) string
 	// Environ lists NAME=VALUE pairs for `env`; nil means none.
 	Environ func() []string
+	// Cancel, when non-nil, is closed if the surrounding plan is torn
+	// down. Compute-heavy loops (yes, seq) poll it so they stop even
+	// when they are between pipe operations; nil means never cancelled.
+	Cancel <-chan struct{}
+}
+
+// Cancelled reports whether the surrounding plan has been torn down.
+func (c *Context) Cancelled() bool {
+	if c.Cancel == nil {
+		return false
+	}
+	select {
+	case <-c.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Lookup resolves a possibly-relative path against the working directory.

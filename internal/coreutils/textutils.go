@@ -333,13 +333,13 @@ func seqCmd(c *Context, args []string) int {
 	lw := newLineWriter(c.Stdout)
 	if incr > 0 {
 		for n := first; n <= last; n += incr {
-			if !lw.WriteLine([]byte(strconv.FormatInt(n, 10))) {
+			if !lw.WriteLine([]byte(strconv.FormatInt(n, 10))) || c.Cancelled() {
 				break
 			}
 		}
 	} else {
 		for n := first; n >= last; n += incr {
-			if !lw.WriteLine([]byte(strconv.FormatInt(n, 10))) {
+			if !lw.WriteLine([]byte(strconv.FormatInt(n, 10))) || c.Cancelled() {
 				break
 			}
 		}
@@ -487,7 +487,7 @@ func yesCmd(c *Context, args []string) int {
 	}
 	lw := newLineWriter(c.Stdout)
 	for lw.WriteLine([]byte(word)) {
-		if !lw.Flush() {
+		if !lw.Flush() || c.Cancelled() {
 			break
 		}
 	}

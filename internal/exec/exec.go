@@ -20,6 +20,8 @@ package exec
 import (
 	"bufio"
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -31,6 +33,7 @@ import (
 	"jash/internal/coreutils"
 	"jash/internal/cost"
 	"jash/internal/dfg"
+	"jash/internal/exec/faultinject"
 	"jash/internal/spec"
 	"jash/internal/vfs"
 )
@@ -47,9 +50,21 @@ type Env struct {
 	// Metrics, when non-nil, receives per-node runtime counters (appended
 	// in topological order) once the run completes.
 	Metrics *RunMetrics
+	// Faults, when non-nil, injects deterministic failures and panics
+	// into node operations (see internal/exec/faultinject). Tests only;
+	// production runs leave it nil.
+	Faults *faultinject.Set
 
 	// tmpDir is the per-run scratch directory, set by Run.
 	tmpDir string
+	// cancel is closed when the plan is torn down, set by Run; coreutils
+	// contexts observe it to stop compute loops that outlive their pipes.
+	cancel <-chan struct{}
+	// abort tears the plan down with the given error, set by Run. Node
+	// helpers use it for failures that must cancel the whole run (a side
+	// input that cannot be materialized), as opposed to ordinary non-zero
+	// statuses, which never abort.
+	abort func(error)
 }
 
 var tmpSeq atomic.Int64
@@ -66,26 +81,148 @@ func (l *lockedWriter) Write(p []byte) (int, error) {
 	return l.w.Write(p)
 }
 
+// errPlanTornDown is the error broken pipes deliver once the plan is
+// cancelled: every blocked read and write in the graph fails with it so
+// no goroutine outlives the teardown.
+var errPlanTornDown = errors.New("plan torn down")
+
+// runState is the per-run teardown machinery: the first node error (or an
+// external context cancel) aborts the whole plan, breaking every bounded
+// pipe so blocked nodes unwind promptly instead of deadlocking against
+// goroutines that will never drain them.
+type runState struct {
+	mu       sync.Mutex
+	firstErr error
+	aborted  bool
+	done     chan struct{} // closed on abort; coreutils loops observe it
+	pipes    []*boundedPipe
+}
+
+func newRunState() *runState {
+	return &runState{done: make(chan struct{})}
+}
+
+// abort records the first failure and tears the plan down exactly once.
+func (rs *runState) abort(err error) {
+	rs.mu.Lock()
+	if rs.firstErr == nil && err != nil {
+		rs.firstErr = err
+	}
+	if rs.aborted {
+		rs.mu.Unlock()
+		return
+	}
+	rs.aborted = true
+	rs.mu.Unlock()
+	close(rs.done)
+	for _, p := range rs.pipes {
+		p.breakPipe(errPlanTornDown)
+	}
+}
+
+func (rs *runState) isAborted() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.aborted
+}
+
+func (rs *runState) err() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.firstErr
+}
+
+// gatedWriter suppresses node diagnostics once the plan is torn down:
+// after the first failure every other node fails collaterally (broken
+// pipes), and their cascade of secondary messages would bury the real
+// diagnostic — the error Run returns.
+type gatedWriter struct {
+	rs *runState
+	w  io.Writer
+}
+
+func (gw *gatedWriter) Write(p []byte) (int, error) {
+	if gw.rs.isAborted() {
+		return len(p), nil
+	}
+	return gw.w.Write(p)
+}
+
+// faultReader interposes the fault-injection harness on a node's reads;
+// an injected error aborts the plan (panics unwind to the node's
+// containment handler instead).
+type faultReader struct {
+	r     io.Reader
+	rs    *runState
+	set   *faultinject.Set
+	label string
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if err := f.set.Check(f.label, faultinject.OpRead); err != nil {
+		f.rs.abort(err)
+		return 0, err
+	}
+	return f.r.Read(p)
+}
+
+// faultWriter is faultReader's write-side twin.
+type faultWriter struct {
+	w     io.Writer
+	rs    *runState
+	set   *faultinject.Set
+	label string
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	if err := f.set.Check(f.label, faultinject.OpWrite); err != nil {
+		f.rs.abort(err)
+		return 0, err
+	}
+	return f.w.Write(p)
+}
+
 // Run executes the graph and returns the POSIX-style exit status: the
 // status of the final command stage (the node feeding the sink), like a
 // shell pipeline's. Temporary materializations live in a per-run
 // directory under /.jash-tmp and are removed before returning.
 func Run(g *dfg.Graph, env *Env) (int, error) {
+	return RunContext(context.Background(), g, env)
+}
+
+// RunContext executes the graph under a cancellation context. The run is
+// fault-tolerant end to end:
+//
+//   - the first node error — a source that fails to open, an injected
+//     fault, a ctx cancel or deadline — tears the whole plan down by
+//     breaking every bounded pipe, so every blocked read and write
+//     unblocks promptly and no goroutine leaks;
+//   - a panic in any node goroutine is contained and converted into a
+//     node error (the shell must survive a crashing utility);
+//   - RunMetrics.SinkBytes reports how many bytes reached the final
+//     destination, so the caller can tell a failure that pre-empted all
+//     output (safe to re-run elsewhere, e.g. through the interpreter)
+//     from one that emitted partial output.
+func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 	if err := g.Validate(); err != nil {
 		return 2, err
 	}
 	runEnv := *env
 	metrics := env.Metrics
 	runEnv.tmpDir = fmt.Sprintf("/.jash-tmp/run-%d", tmpSeq.Add(1))
+	rs := newRunState()
+	runEnv.cancel = rs.done
+	runEnv.abort = rs.abort
 	// Node goroutines write Stdout (sink) and Stderr (diagnostics)
 	// concurrently; a caller may pass the same writer for both, so route
-	// them through one lock.
+	// them through one lock. Stderr additionally gates on teardown so
+	// collateral failures stay quiet.
 	var outMu sync.Mutex
 	if runEnv.Stdout != nil {
 		runEnv.Stdout = &lockedWriter{mu: &outMu, w: runEnv.Stdout}
 	}
 	if runEnv.Stderr != nil {
-		runEnv.Stderr = &lockedWriter{mu: &outMu, w: runEnv.Stderr}
+		runEnv.Stderr = &gatedWriter{rs: rs, w: &lockedWriter{mu: &outMu, w: runEnv.Stderr}}
 	}
 	env = &runEnv
 	defer func() {
@@ -96,7 +233,7 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	// Build one bounded pipe per edge.
+	// Build one bounded pipe per edge and register it for teardown.
 	type pipeEnds struct {
 		r *bpReader
 		w *bpWriter
@@ -105,7 +242,20 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 	for _, e := range g.Edges {
 		r, w := newBoundedPipe(cost.PipeBufferBytes)
 		pipes[e] = &pipeEnds{r, w}
+		rs.pipes = append(rs.pipes, r.p)
 	}
+	// Surface external cancellation as a plan abort. The watcher exits
+	// when the run finishes (watchDone) so it never outlives Run.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			rs.abort(ctx.Err())
+		case <-watchDone:
+		case <-rs.done:
+		}
+	}()
 	counters := map[int]*nodeCounters{}
 	for _, n := range order {
 		counters[n.ID] = &nodeCounters{}
@@ -119,34 +269,43 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 		mu.Unlock()
 	}
 	var wg sync.WaitGroup
-	var firstErr error
-	reportErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
 	for _, n := range order {
 		wg.Add(1)
 		go func(n *dfg.Node) {
 			defer wg.Done()
 			start := time.Now()
 			ctr := counters[n.ID]
+			label := n.Label()
 			defer func() {
 				mu.Lock()
 				walls[n.ID] = time.Since(start)
 				mu.Unlock()
 			}()
+			// Panic containment: a crashing node (a coreutils bug, an
+			// injected panic) becomes a plan error, never a dead shell.
+			defer func() {
+				if r := recover(); r != nil {
+					setStatus(n.ID, 2)
+					rs.abort(fmt.Errorf("node %d (%s): panic: %v", n.ID, label, r))
+				}
+			}()
 			ins := g.In(n.ID)
 			outs := g.Out(n.ID)
 			inReaders := make([]io.Reader, len(ins))
 			for i, e := range ins {
-				inReaders[i] = &countingReader{pipes[e].r, &ctr.in}
+				var r io.Reader = pipes[e].r
+				if env.Faults != nil {
+					r = &faultReader{r: r, rs: rs, set: env.Faults, label: label}
+				}
+				inReaders[i] = &countingReader{r, &ctr.in}
 			}
 			outWriters := make([]io.Writer, len(outs))
 			for i, e := range outs {
-				outWriters[i] = &countingWriter{pipes[e].w, &ctr.out}
+				var w io.Writer = pipes[e].w
+				if env.Faults != nil {
+					w = &faultWriter{w: w, rs: rs, set: env.Faults, label: label}
+				}
+				outWriters[i] = &countingWriter{w, &ctr.out}
 			}
 			closeOuts := func() {
 				for _, e := range outs {
@@ -169,14 +328,22 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 						src = strings.NewReader("")
 					}
 				} else {
+					if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+						rs.abort(err)
+						setStatus(n.ID, 1)
+						return
+					}
 					rc, err := env.FS.Open(lookup(env.Dir, n.Path))
 					if err != nil {
-						reportErr(err)
+						rs.abort(err)
 						setStatus(n.ID, 1)
 						return
 					}
 					defer rc.Close()
 					src = rc
+				}
+				if env.Faults != nil {
+					src = &faultReader{r: src, rs: rs, set: env.Faults, label: label}
 				}
 				io.Copy(outWriters[0], &countingReader{src, &ctr.in})
 				setStatus(n.ID, 0)
@@ -185,23 +352,36 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 				if dst == nil {
 					dst = io.Discard
 				}
+				var fileOut io.WriteCloser
 				if n.Path != "" {
-					var w io.WriteCloser
-					var err error
-					if n.Append {
-						w, err = env.FS.Append(lookup(env.Dir, n.Path))
-					} else {
-						w, err = env.FS.Create(lookup(env.Dir, n.Path))
-					}
-					if err != nil {
-						reportErr(err)
+					if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+						rs.abort(err)
 						setStatus(n.ID, 1)
 						return
 					}
-					defer w.Close()
+					w, err := openSink(env, n)
+					if err != nil {
+						rs.abort(err)
+						setStatus(n.ID, 1)
+						return
+					}
+					fileOut = w
 					dst = w
 				}
-				io.Copy(&countingWriter{dst, &ctr.out}, inReaders[0])
+				if env.Faults != nil {
+					dst = &faultWriter{w: dst, rs: rs, set: env.Faults, label: label}
+				}
+				_, cerr := io.Copy(&countingWriter{dst, &ctr.out}, inReaders[0])
+				if fileOut != nil {
+					if cerr != nil && ctr.out.Load() == 0 {
+						// The plan failed before the first byte: leave the
+						// destination untouched (a vfs fileWriter commits
+						// only on Close), so a fallback re-run starts from
+						// pristine state.
+					} else {
+						fileOut.Close()
+					}
+				}
 				setStatus(n.ID, 0)
 			case dfg.KindSplit:
 				closers := make([]func(), len(outs))
@@ -218,6 +398,11 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 		}(n)
 	}
 	wg.Wait()
+	sink := g.Sink()
+	var sinkBytes int64
+	if sink != nil {
+		sinkBytes = counters[sink.ID].out.Load()
+	}
 	if metrics != nil {
 		for _, n := range order {
 			ctr := counters[n.ID]
@@ -234,9 +419,9 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 			}
 			metrics.Nodes = append(metrics.Nodes, nm)
 		}
+		metrics.SinkBytes = sinkBytes
 	}
 	// Pipeline status: the node feeding the sink.
-	sink := g.Sink()
 	final := 0
 	if sink != nil {
 		in := g.In(sink.ID)
@@ -246,7 +431,15 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 			}
 		}
 	}
-	return final, firstErr
+	return final, rs.err()
+}
+
+// openSink opens a file sink's destination per its append mode.
+func openSink(env *Env, n *dfg.Node) (io.WriteCloser, error) {
+	if n.Append {
+		return env.FS.Append(lookup(env.Dir, n.Path))
+	}
+	return env.FS.Create(lookup(env.Dir, n.Path))
 }
 
 func lookup(dir, p string) string {
@@ -407,6 +600,7 @@ func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 			Stdout: out,
 			Stderr: errWriter(env),
 			Getenv: env.Getenv,
+			Cancel: env.cancel,
 		}
 		return coreutils.MergeSortedStreams(ctx, n.Argv, ins)
 	case spec.AggSum:
@@ -471,6 +665,11 @@ func runCommand(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 		}
 		p := fmt.Sprintf("%s/port-%d-%d", env.tmpDir, tmpSeq.Add(1), i)
 		if err := materialize(env, p, r); err != nil {
+			// A side input that cannot be staged is a plan failure, not an
+			// ordinary non-zero status: tear the run down.
+			if env.abort != nil {
+				env.abort(fmt.Errorf("%s: side input: %w", n.Label(), err))
+			}
 			return 1
 		}
 		tmps = append(tmps, p)
@@ -507,6 +706,7 @@ func dispatch(argv []string, stdin io.Reader, out io.Writer, env *Env) int {
 		Stdout: out,
 		Stderr: errWriter(env),
 		Getenv: env.Getenv,
+		Cancel: env.cancel,
 	}
 	return fn(ctx, argv)
 }

@@ -1,0 +1,148 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// streaming dataflow executor. A Set of rules arms failures — returned
+// errors or panics — at the Nth open, read, or write performed by a chosen
+// graph node, letting tests drive the executor's cancellation, panic
+// containment, and interpreter-fallback machinery through every position
+// of a plan without any real I/O failing. ShellFuzzer-style: error paths
+// are where shells hide crash bugs, so the harness makes them reachable on
+// demand.
+//
+// The package is dependency-free so the executor can import it without
+// cycles; production runs leave Env.Faults nil and pay only a nil check.
+package faultinject
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Op classifies the instrumented operations of a node.
+type Op int
+
+const (
+	// OpOpen is a source opening its input file (or a sink creating its
+	// output file).
+	OpOpen Op = iota
+	// OpRead is one Read call on any of the node's input edges.
+	OpRead
+	// OpWrite is one Write call on any of the node's output edges.
+	OpWrite
+)
+
+var opNames = [...]string{"open", "read", "write"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "?"
+}
+
+// Mode selects how an armed fault manifests.
+type Mode int
+
+const (
+	// ModeError makes the operation fail with the rule's error.
+	ModeError Mode = iota
+	// ModePanic makes the operation panic, exercising the executor's
+	// per-node panic containment.
+	ModePanic
+)
+
+// Rule arms one fault: the Nth matching operation of a matching node
+// trips it. Node is compared by substring against the graph node's label
+// (e.g. "sort", "split×4", "src:/in"); when several nodes share a label —
+// parallel lanes — they share the rule's counter, so "the Nth read among
+// the sort lanes" still fires exactly once.
+type Rule struct {
+	Node string // substring of the node label ("" matches every node)
+	Op   Op
+	Nth  int64 // 1-based occurrence that trips the fault (min 1)
+	Mode Mode
+	Err  error // returned for ModeError; nil gets a descriptive default
+}
+
+// armed pairs a rule with its occurrence counter.
+type armed struct {
+	Rule
+	count atomic.Int64
+	fired atomic.Bool
+}
+
+// Set is a collection of armed rules, safe for concurrent use by the
+// executor's node goroutines.
+type Set struct {
+	rules []*armed
+}
+
+// NewSet arms the given rules.
+func NewSet(rules ...Rule) *Set {
+	s := &Set{}
+	for _, r := range rules {
+		if r.Nth < 1 {
+			r.Nth = 1
+		}
+		s.rules = append(s.rules, &armed{Rule: r})
+	}
+	return s
+}
+
+// Error is the failure a tripped ModeError rule delivers.
+type Error struct {
+	Node string
+	Op   Op
+	Nth  int64
+	Err  error
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("fault injected: %s %s #%d: %v", e.Node, e.Op, e.Nth, e.Err)
+	}
+	return fmt.Sprintf("fault injected: %s %s #%d", e.Node, e.Op, e.Nth)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Check records one operation by the named node and, when a rule trips,
+// returns its error (ModeError) or panics (ModePanic). A nil Set is safe
+// and always passes.
+func (s *Set) Check(node string, op Op) error {
+	if s == nil {
+		return nil
+	}
+	for _, a := range s.rules {
+		if a.Op != op || !matches(node, a.Node) {
+			continue
+		}
+		if a.count.Add(1) != a.Nth {
+			continue
+		}
+		a.fired.Store(true)
+		ferr := &Error{Node: node, Op: op, Nth: a.Nth, Err: a.Err}
+		if a.Mode == ModePanic {
+			panic(ferr)
+		}
+		return ferr
+	}
+	return nil
+}
+
+// Fired reports how many rules have tripped.
+func (s *Set) Fired() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, a := range s.rules {
+		if a.fired.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func matches(label, pat string) bool {
+	return pat == "" || strings.Contains(label, pat)
+}

@@ -32,6 +32,11 @@ type NodeMetrics struct {
 type RunMetrics struct {
 	// Nodes is in topological order.
 	Nodes []NodeMetrics
+	// SinkBytes counts the bytes that reached the sink's destination.
+	// When a plan fails with SinkBytes == 0, no output escaped, so the
+	// caller may safely re-run the region another way (the interpreter
+	// fallback's before-first-byte rule).
+	SinkBytes int64
 }
 
 // TotalBytesMoved sums the bytes every node produced — the run's actual

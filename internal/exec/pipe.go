@@ -43,7 +43,7 @@ func (p *boundedPipe) read(b []byte) (int, error) {
 	defer p.mu.Unlock()
 	for p.n == 0 {
 		if p.rerr != nil {
-			return 0, io.ErrClosedPipe
+			return 0, p.rerr
 		}
 		if p.werr != nil {
 			return 0, p.werr
@@ -74,7 +74,7 @@ func (p *boundedPipe) write(b []byte) (int, error) {
 	total := 0
 	for total < len(b) {
 		if p.rerr != nil {
-			return total, io.ErrClosedPipe
+			return total, p.rerr
 		}
 		if p.werr != nil {
 			return total, io.ErrClosedPipe
@@ -121,6 +121,29 @@ func (p *boundedPipe) closeRead() {
 	}
 	// Discard resident bytes: nobody will read them, and a blocked
 	// writer must observe the hangup immediately.
+	p.n = 0
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// breakPipe tears the pipe down for plan-wide cancellation: both ends
+// observe err immediately — blocked readers wake with err instead of
+// draining, blocked writers fail, and resident bytes are discarded so no
+// node keeps processing data the plan has abandoned. Ends that already
+// closed keep their original error.
+func (p *boundedPipe) breakPipe(err error) {
+	if err == nil {
+		err = io.ErrClosedPipe
+	}
+	p.mu.Lock()
+	if p.rerr == nil {
+		p.rerr = err
+	}
+	if p.werr == nil || p.werr == io.EOF {
+		// A clean EOF from an already-finished producer must not let
+		// downstream keep consuming: teardown wins.
+		p.werr = err
+	}
 	p.n = 0
 	p.cond.Broadcast()
 	p.mu.Unlock()

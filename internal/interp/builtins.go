@@ -35,7 +35,9 @@ func init() {
 		"read":     builtinRead,
 		"type":     builtinType,
 		"wait":     func(*Interp, []string) int { return 0 },
-		"umask":    func(*Interp, []string) int { return 0 },
+		"umask":    builtinUmask,
+		"trap":     builtinTrap,
+		"getopts":  builtinGetopts,
 		"exec":     builtinExec,
 		"local":    builtinLocal,
 	}
@@ -197,7 +199,12 @@ func builtinExit(in *Interp, args []string) int {
 			status = n & 0xff
 		}
 	}
-	panic(exitSignal{status})
+	// The EXIT trap fires on explicit exit, seeing exit's status as $?;
+	// RunExitTrap consumes the action, so a driver's shutdown call later
+	// is a no-op.
+	in.Status = status
+	in.RunExitTrap()
+	panic(exitSignal{in.Status})
 }
 
 func builtinReturn(in *Interp, args []string) int {

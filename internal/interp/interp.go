@@ -65,7 +65,30 @@ type Interp struct {
 	// line-oriented drivers must stop feeding further commands.
 	Exited bool
 
+	// Traps maps condition names to trap actions. Only EXIT fires today
+	// (the hermetic shell receives no signals); other conditions are
+	// stored and printable but inert. Subshells start with no traps, per
+	// POSIX.
+	Traps map[string]string
+
+	// Umask is the file-mode creation mask (umask builtin). It shadows
+	// the VFS-level mask so `umask` can print the current value without
+	// consulting the filesystem.
+	Umask uint32
+
+	// Cancel, when non-nil, asks long-running commands to stop: it is
+	// handed to every coreutils invocation (their compute loops poll it),
+	// so an external deadline bounds interpreted pipelines too, not just
+	// optimized plans.
+	Cancel <-chan struct{}
+
 	loopDepth int
+
+	// getopts state that POSIX hides from scripts: optInd mirrors the
+	// last OPTIND this shell wrote (an external change resets the scan)
+	// and optPos is the cursor inside a clustered group like -abc.
+	optInd int
+	optPos int
 
 	// localFrames stacks the saved bindings of active function calls:
 	// builtinLocal records each shadowed (or previously unset) variable in
@@ -83,6 +106,8 @@ func New(fs *vfs.FS) *Interp {
 		// startup, not only after the first cd.
 		Vars:   map[string]Variable{"PWD": {Value: "/", Exported: true}},
 		Funcs:  map[string]syntax.Command{},
+		Traps:  map[string]string{},
+		Umask:  fs.Umask(),
 		Name0:  "jash",
 		Stdin:  strings.NewReader(""),
 		Stdout: io.Discard,
@@ -118,12 +143,21 @@ func (continueSignal) Error() string { return "continue" }
 func (f fatalError) Error() string   { return f.err.Error() }
 
 // RunScript parses and runs a whole script, returning its exit status.
+// The EXIT trap, if installed, runs when the script finishes (RunExitTrap
+// already ran it if the script called exit).
 func (in *Interp) RunScript(src string) (int, error) {
 	script, err := syntax.Parse(src)
 	if err != nil {
 		return 2, err
 	}
-	return in.RunStmts(script.Stmts)
+	status, err := in.RunStmts(script.Stmts)
+	if err == nil {
+		in.RunExitTrap()
+		if !in.Exited {
+			status = in.Status
+		}
+	}
+	return status, err
 }
 
 // RunStmts runs a statement list, returning the final exit status.
@@ -225,8 +259,49 @@ func (in *Interp) subshell() *Interp {
 		Stdin: in.Stdin, Stdout: in.Stdout, Stderr: in.Stderr,
 		Status: in.Status, PID: in.PID + 1,
 		ErrExit: in.ErrExit, NoGlob: in.NoGlob, NoUnset: in.NoUnset,
-		Observer: in.Observer,
+		// POSIX resets subshell traps to their defaults; the umask carries
+		// over.
+		Traps: map[string]string{}, Umask: in.Umask,
+		Observer: in.Observer, Cancel: in.Cancel,
 	}
+}
+
+// RunExitTrap runs the EXIT trap, if one is set, exactly once: the action
+// is consumed before it runs, so a trap that itself exits (or a driver
+// that calls this again at shutdown) cannot recurse. The shell's exit
+// status is preserved across the trap body unless the body calls exit
+// with an explicit status, which POSIX lets override it.
+func (in *Interp) RunExitTrap() {
+	cmd, ok := in.Traps["EXIT"]
+	if !ok || strings.TrimSpace(cmd) == "" {
+		delete(in.Traps, "EXIT")
+		return
+	}
+	delete(in.Traps, "EXIT")
+	saved := in.Status
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch sig := r.(type) {
+				case exitSignal:
+					saved = sig.status
+				case fatalError:
+					fmt.Fprintf(in.Stderr, "trap: %v\n", sig.err)
+				default:
+					panic(r)
+				}
+			}
+		}()
+		script, err := syntax.Parse(cmd)
+		if err != nil {
+			fmt.Fprintf(in.Stderr, "trap: %v\n", err)
+			return
+		}
+		for _, st := range script.Stmts {
+			in.stmt(st)
+		}
+	}()
+	in.Status = saved
 }
 
 func (in *Interp) fatalf(format string, args ...any) {
@@ -629,6 +704,7 @@ func (in *Interp) dispatch(fields []string) {
 			Stderr:  in.Stderr,
 			Getenv:  in.Getenv,
 			Environ: in.Environ,
+			Cancel:  in.Cancel,
 		}
 		in.Status = fn(ctx, fields)
 		return

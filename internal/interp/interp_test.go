@@ -531,8 +531,8 @@ func TestEvalParseError(t *testing.T) {
 	}
 }
 
-func TestWaitUmaskNoops(t *testing.T) {
-	wantOut(t, "wait; umask; echo ok", "ok\n")
+func TestWaitNoops(t *testing.T) {
+	wantOut(t, "wait; echo ok", "ok\n")
 }
 
 func TestUnsetReadonlyFails(t *testing.T) {

@@ -43,6 +43,7 @@ type FileInfo struct {
 	Name   string
 	Size   int64
 	IsDir  bool
+	Mode   uint32 // permission bits, set at creation from the umask
 	ModSeq int64  // monotonically increasing modification stamp
 	Device string // storage device the file resides on
 }
@@ -52,6 +53,7 @@ type FS struct {
 	mu     sync.RWMutex
 	root   *node
 	seq    int64
+	umask  uint32  // file-mode creation mask (umask builtin)
 	mounts []mount // longest-prefix device bindings
 }
 
@@ -65,17 +67,43 @@ type node struct {
 	isDir    bool
 	data     []byte
 	children map[string]*node
+	mode     uint32
 	modSeq   int64
 }
 
 // New returns an empty filesystem containing only the root directory,
-// bound to device "default".
+// bound to device "default", with the conventional 022 creation mask.
 func New() *FS {
 	return &FS{
-		root:   &node{name: "/", isDir: true, children: map[string]*node{}},
+		root:   &node{name: "/", isDir: true, children: map[string]*node{}, mode: 0o755},
+		umask:  0o022,
 		mounts: []mount{{prefix: "/", device: "default"}},
 	}
 }
+
+// Umask returns the current file-mode creation mask.
+func (fs *FS) Umask() uint32 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.umask
+}
+
+// SetUmask installs a new creation mask (only the permission bits count)
+// and returns the previous one, like umask(2). It affects files and
+// directories created afterwards; existing modes are untouched.
+func (fs *FS) SetUmask(mask uint32) uint32 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	old := fs.umask
+	fs.umask = mask & 0o777
+	return old
+}
+
+// fileModeLocked computes a new file's permission bits (0666 &^ umask).
+func (fs *FS) fileModeLocked() uint32 { return 0o666 &^ fs.umask }
+
+// dirModeLocked computes a new directory's permission bits (0777 &^ umask).
+func (fs *FS) dirModeLocked() uint32 { return 0o777 &^ fs.umask }
 
 // Mount binds the subtree at prefix to the named storage device. Longest
 // prefix wins on lookup. The prefix must be absolute.
@@ -172,6 +200,7 @@ func (fs *FS) Stat(p string) (FileInfo, error) {
 		Name:   path.Base(clean(p)),
 		Size:   int64(len(n.data)),
 		IsDir:  n.isDir,
+		Mode:   n.mode,
 		ModSeq: n.modSeq,
 		Device: fs.DeviceFor(p),
 	}, nil
@@ -234,7 +263,8 @@ func (fs *FS) writeLocked(p string, data []byte, appendTo bool) error {
 	fs.seq++
 	n, ok := parent.children[name]
 	if !ok {
-		n = &node{name: name}
+		// The umask applies at creation only; overwrites keep the mode.
+		n = &node{name: name, mode: fs.fileModeLocked()}
 		parent.children[name] = n
 	}
 	if n.isDir {
@@ -299,7 +329,7 @@ func (fs *FS) Mkdir(p string) error {
 		return &PathError{"mkdir", p, ErrExist}
 	}
 	fs.seq++
-	parent.children[name] = &node{name: name, isDir: true, children: map[string]*node{}, modSeq: fs.seq}
+	parent.children[name] = &node{name: name, isDir: true, children: map[string]*node{}, mode: fs.dirModeLocked(), modSeq: fs.seq}
 	return nil
 }
 
@@ -316,7 +346,7 @@ func (fs *FS) mkdirAllLocked(p string) error {
 		next, ok := cur.children[part]
 		if !ok {
 			fs.seq++
-			next = &node{name: part, isDir: true, children: map[string]*node{}, modSeq: fs.seq}
+			next = &node{name: part, isDir: true, children: map[string]*node{}, mode: fs.dirModeLocked(), modSeq: fs.seq}
 			cur.children[part] = next
 		} else if !next.isDir {
 			return &PathError{"mkdir", p, ErrNotDir}
@@ -402,6 +432,7 @@ func (fs *FS) ReadDir(p string) ([]FileInfo, error) {
 			Name:   c.name,
 			Size:   int64(len(c.data)),
 			IsDir:  c.isDir,
+			Mode:   c.mode,
 			ModSeq: c.modSeq,
 			Device: dev,
 		})
