@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fault verify bench clean
+.PHONY: all build test vet race fault lint verify bench clean
 
 all: verify
 
@@ -24,8 +24,14 @@ fault:
 	$(GO) test -race -count=2 -run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane' \
 		./internal/exec/... ./internal/core/...
 
+# lint runs jashlint over the example scripts (warnings and errors fail
+# the build; suppressions are honored) plus go vet.
+lint:
+	$(GO) run ./cmd/jashlint -severity warning examples/*/script.sh
+	$(GO) vet ./...
+
 # verify is the tier-1 gate: everything a change must pass before merge.
-verify: vet build test race fault
+verify: vet build test race fault lint
 
 bench:
 	$(GO) run ./cmd/jashbench all

@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -178,6 +179,63 @@ func TestJashlint(t *testing.T) {
 	}
 }
 
+func TestJashlintJSONFormat(t *testing.T) {
+	out, _, code := runBin(t, "jashlint", "rm -rf $X\n", "-format", "json")
+	if code != 1 {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	var f struct {
+		File     string `json:"file"`
+		Code     string `json:"code"`
+		Severity string `json:"severity"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	line := strings.SplitN(strings.TrimSpace(out), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &f); err != nil {
+		t.Fatalf("not JSON-per-line: %q: %v", line, err)
+	}
+	if f.Code != "JSH201" || f.Severity != "error" || f.Line != 1 || f.File != "<stdin>" {
+		t.Errorf("finding = %+v", f)
+	}
+	_, errs, code := runBin(t, "jashlint", "echo x\n", "-format", "yaml")
+	if code != 2 || !strings.Contains(errs, "unknown format") {
+		t.Errorf("bad format: code=%d errs=%q", code, errs)
+	}
+}
+
+func TestJashlintContinuesPastUnreadableFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "missing.sh")
+	good := filepath.Join(dir, "good.sh")
+	if err := os.WriteFile(good, []byte("rm -rf $X\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errs, code := runBin(t, "jashlint", "", bad, good)
+	if code != 2 {
+		t.Errorf("code=%d, want 2 after a read failure", code)
+	}
+	if !strings.Contains(errs, "missing.sh") {
+		t.Errorf("read error not reported: %q", errs)
+	}
+	// The readable file was still linted.
+	if !strings.Contains(out, "JSH201") {
+		t.Errorf("remaining file skipped: out=%q", out)
+	}
+}
+
+func TestJashlintSuppression(t *testing.T) {
+	out, _, code := runBin(t, "jashlint", "# jashlint:disable=JSH201,JSH202\nrm -rf $X\n")
+	if code != 0 || strings.Contains(out, "JSH201") {
+		t.Errorf("suppression ignored: code=%d out=%q", code, out)
+	}
+	out, _, code = runBin(t, "jashlint", "# jashlint:disable=JSH999\necho ok\n")
+	if code != 1 || !strings.Contains(out, "JSH001") {
+		t.Errorf("unknown suppression code: code=%d out=%q", code, out)
+	}
+}
+
 func TestJashexplain(t *testing.T) {
 	out, _, code := runBin(t, "jashexplain", "", "grep -v 999 | sort -rn | head -n1")
 	if code != 0 {
@@ -191,6 +249,33 @@ func TestJashexplain(t *testing.T) {
 	out, _, code = runBin(t, "jashexplain", "", "-tutor", "sort")
 	if code != 0 || !strings.Contains(out, "merge-sort") {
 		t.Errorf("tutor: code=%d out=%q", code, out)
+	}
+}
+
+func TestJashexplainHazardPreflight(t *testing.T) {
+	out, _, code := runBin(t, "jashexplain", "", "grep -c x /d/f | sort -rn >>/d/f")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "hazard preflight: REJECT") ||
+		!strings.Contains(out, "read-after-write on /d/f") {
+		t.Errorf("hazard verdict missing:\n%s", out)
+	}
+	out, _, _ = runBin(t, "jashexplain", "", "cat /in | sort")
+	if !strings.Contains(out, "hazard preflight: clean") {
+		t.Errorf("clean verdict missing:\n%s", out)
+	}
+}
+
+func TestJashStatsHazardReject(t *testing.T) {
+	_, errs, code := runBin(t, "jash", "",
+		"-words", "/d/f=100000", "-stats",
+		"-c", "grep -c a /d/f | sort -rn >>/d/f")
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	if !strings.Contains(errs, "hazard-reject") {
+		t.Errorf("-stats missing hazard-reject:\n%s", errs)
 	}
 }
 

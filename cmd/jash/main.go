@@ -186,6 +186,10 @@ func run() int {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "jash: %d pipeline(s) optimized, %d interpreted, %.3fs modelled time\n",
 			sh.Stats.Optimized, sh.Stats.Interpreted, sh.Stats.VirtualSeconds)
+		if sh.Stats.HazardRejects > 0 {
+			fmt.Fprintf(os.Stderr, "jash: %d pipeline(s) hazard-rejected (file conflicts between concurrent stages)\n",
+				sh.Stats.HazardRejects)
+		}
 		for _, d := range sh.Stats.Decisions {
 			fmt.Fprintf(os.Stderr, "  %-40s %-13s width=%d est=%.3fs\n",
 				d.Pipeline, d.Strategy, d.Width, d.EstimatedSeconds)

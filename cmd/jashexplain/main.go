@@ -15,8 +15,8 @@ import (
 	"sort"
 	"strings"
 
+	"jash/internal/analysis"
 	"jash/internal/expand"
-
 	"jash/internal/spec"
 	"jash/internal/syntax"
 )
@@ -46,6 +46,8 @@ func run() int {
 	lib := spec.Builtin()
 	x := &expand.Expander{}
 	for _, st := range script.Stmts {
+		var stageSums []*analysis.Summary
+		var stageLabels []string
 		for _, cmd := range st.AndOr.First.Cmds {
 			sc, ok := cmd.(*syntax.SimpleCommand)
 			if !ok {
@@ -53,6 +55,9 @@ func run() int {
 					syntax.PrintCommand(cmd))
 				continue
 			}
+			sum := analysis.SummarizeCommand(sc, lib)
+			stageSums = append(stageSums, sum)
+			stageLabels = append(stageLabels, sc.Name())
 			fields, err := x.ExpandWords(sc.Args)
 			if err != nil || len(fields) == 0 {
 				deps := expand.AnalyzeWords(sc.Args)
@@ -91,6 +96,22 @@ func run() int {
 				fmt.Printf(" — needs its whole input; runs as a sequential stage\n")
 			case spec.SideEffectful:
 				fmt.Printf(" — mutates state; the optimizer will not touch this pipeline\n")
+			}
+			if s := sum.String(); s != "pure" {
+				fmt.Printf("  effects: %s\n", s)
+			}
+		}
+		// Hazard preflight: pipeline stages run concurrently, so effect
+		// conflicts between them make the region uncompilable (and racy
+		// even interpreted, for truncating redirections).
+		if len(stageSums) >= 2 {
+			if hz := analysis.PipelineHazards(stageSums, stageLabels); len(hz) > 0 {
+				fmt.Println("hazard preflight: REJECT — the JIT will not compile this pipeline:")
+				for _, h := range hz {
+					fmt.Printf("  %s\n", h)
+				}
+			} else {
+				fmt.Println("hazard preflight: clean — stages touch no conflicting files")
 			}
 		}
 	}

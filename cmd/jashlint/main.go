@@ -1,11 +1,14 @@
 // Command jashlint is the ShellCheck-style linter built on the syntax
 // package's ASTs and the PaSh-style specification library (§4 "Heuristic
 // support"). It reads scripts from files or stdin and prints findings
-// with positions, codes, severities, and fix suggestions. Exit status: 0
-// clean, 1 findings, 2 usage errors.
+// with positions, codes, severities, and fix suggestions — as human-
+// readable lines by default, or one JSON object per finding with
+// -format json. Exit status: 0 clean, 1 findings, 2 usage or read
+// errors (reported after every argument has been processed).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,8 +21,20 @@ func main() {
 	os.Exit(run())
 }
 
+// jsonFinding is the CI-consumable shape: one object per line.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Code       string `json:"code"`
+	Severity   string `json:"severity"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
 func run() int {
 	minSeverity := flag.String("severity", "info", "minimum severity to report: info, warning, error")
+	format := flag.String("format", "human", "output format: human, or json (one finding object per line)")
 	flag.Parse()
 	var min lint.Severity
 	switch *minSeverity {
@@ -33,14 +48,32 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "jashlint: unknown severity %q\n", *minSeverity)
 		return 2
 	}
+	if *format != "human" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "jashlint: unknown format %q\n", *format)
+		return 2
+	}
 	l := lint.New()
+	enc := json.NewEncoder(os.Stdout)
 	found := false
+	failed := false
 	lintOne := func(name, src string) {
 		for _, f := range l.LintSource(src) {
 			if f.Severity < min {
 				continue
 			}
 			found = true
+			if *format == "json" {
+				enc.Encode(jsonFinding{
+					File:       name,
+					Code:       f.Code,
+					Severity:   f.Severity.String(),
+					Line:       f.Pos.Line,
+					Col:        f.Pos.Col,
+					Message:    f.Message,
+					Suggestion: f.Suggestion,
+				})
+				continue
+			}
 			fmt.Printf("%s:%s\n", name, f)
 		}
 	}
@@ -55,12 +88,18 @@ func run() int {
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
+			// Keep linting the remaining arguments; the failure surfaces in
+			// the exit status once everything has been processed.
 			fmt.Fprintf(os.Stderr, "jashlint: %v\n", err)
-			return 2
+			failed = true
+			continue
 		}
 		lintOne(path, string(data))
 	}
-	if found {
+	switch {
+	case failed:
+		return 2
+	case found:
 		return 1
 	}
 	return 0

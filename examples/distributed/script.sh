@@ -1,0 +1,2 @@
+# The unique-words job each cluster node runs over its local shard.
+tr A-Z a-z </data/shard.txt | tr -cs A-Za-z '\n' | sort -u

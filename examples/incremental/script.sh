@@ -1,0 +1,2 @@
+# Corpus normalization: lowercase, strip punctuation, drop blank lines.
+tr A-Z a-z </corpus.txt | tr -cs a-z '\n' | grep -v "^$"

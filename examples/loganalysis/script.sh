@@ -1,0 +1,2 @@
+# Top five client IPs by 500-errors in the access log.
+grep " 500 " /var/log/access.log | cut -d " " -f 1 | sort | uniq -c | sort -rn | head -n5

@@ -1,0 +1,3 @@
+# Ten most frequent words in the corpus (the paper's Figure 1 workload).
+echo "== ten most frequent words =="
+cat /data/words.txt | tr A-Z a-z | tr -cs A-Za-z '\n' | sort | uniq -c | sort -rn | head -n10

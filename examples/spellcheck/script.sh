@@ -1,0 +1,7 @@
+# The paper's §3.2 spell example: words in the documents that are not in
+# the dictionary. FILES deliberately word-splits into multiple operands,
+# so the unquoted-expansion warnings are suppressed inline.
+DICT=/usr/share/dict/words
+FILES="/docs/chapter1.txt /docs/chapter2.txt"
+# jashlint:disable=JSH202
+cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 "$DICT" -

@@ -1,0 +1,2 @@
+# Hottest recorded temperature in the NCDC records (§3's one-liner).
+cat /ncdc/records.txt | cut -c 89-92 | grep -v 999 | sort -rn | head -n1

@@ -1,0 +1,406 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"jash/internal/dfg"
+	"jash/internal/spec"
+	"jash/internal/syntax"
+)
+
+func lib() *spec.Library { return spec.Builtin() }
+
+func mustParse(t *testing.T, src string) *syntax.Script {
+	t.Helper()
+	s, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return s
+}
+
+func firstSimple(t *testing.T, src string) *syntax.SimpleCommand {
+	t.Helper()
+	s := mustParse(t, src)
+	sc, ok := s.Stmts[0].AndOr.First.Cmds[0].(*syntax.SimpleCommand)
+	if !ok {
+		t.Fatalf("first command of %q is not simple", src)
+	}
+	return sc
+}
+
+// --- effect summaries ---
+
+func TestSummarizeArgvReads(t *testing.T) {
+	s := SummarizeArgv(lib(), []string{"grep", "-c", "pat", "/data/a.txt"})
+	if got := s.Paths["/data/a.txt"]; !got.Reads() || got.Writes() {
+		t.Fatalf("grep file op = %v, want read-only", got)
+	}
+	if s.Unknown != 0 {
+		t.Fatalf("grep unknown = %v, want none", s.Unknown)
+	}
+	// The pattern operand must not be mistaken for a file.
+	if _, ok := s.Paths["pat"]; ok {
+		t.Fatal("grep pattern classified as path")
+	}
+}
+
+func TestSummarizeArgvSortOutput(t *testing.T) {
+	s := SummarizeArgv(lib(), []string{"sort", "-o", "out.txt", "in.txt"})
+	if got := s.Paths["out.txt"]; !got.Writes() {
+		t.Fatalf("sort -o target op = %v, want write", got)
+	}
+	if got := s.Paths["in.txt"]; !got.Reads() {
+		t.Fatalf("sort input op = %v, want read", got)
+	}
+}
+
+func TestSummarizeArgvMutators(t *testing.T) {
+	s := SummarizeArgv(lib(), []string{"rm", "-f", "a", "b"})
+	for _, p := range []string{"a", "b"} {
+		if s.Paths[p]&OpRemove == 0 {
+			t.Fatalf("rm %s op = %v, want remove", p, s.Paths[p])
+		}
+	}
+	s = SummarizeArgv(lib(), []string{"mv", "src", "dst"})
+	if !s.Paths["src"].Reads() || s.Paths["src"]&OpRemove == 0 {
+		t.Fatalf("mv src op = %v, want read+remove", s.Paths["src"])
+	}
+	if !s.Paths["dst"].Writes() {
+		t.Fatalf("mv dst op = %v, want write", s.Paths["dst"])
+	}
+}
+
+func TestSummarizeArgvUnknownCommandIsTop(t *testing.T) {
+	s := SummarizeArgv(lib(), []string{"frobnicate", "x"})
+	if !s.Unknown.Writes() || !s.Unknown.Reads() {
+		t.Fatalf("unknown command unknown = %v, want ⊤", s.Unknown)
+	}
+}
+
+func TestSummarizeArgvPureBuiltin(t *testing.T) {
+	s := SummarizeArgv(lib(), []string{"echo", "hi", "/etc/passwd"})
+	if len(s.Paths) != 0 || s.Unknown != 0 {
+		t.Fatalf("echo summary = %v, want pure", s)
+	}
+}
+
+func TestSummarizeCommandRedirections(t *testing.T) {
+	sc := firstSimple(t, "grep x /d/in >/d/out 2>>log")
+	s := SummarizeCommand(sc, lib())
+	if !s.Paths["/d/in"].Reads() {
+		t.Fatalf("in op = %v", s.Paths["/d/in"])
+	}
+	if !s.Paths["/d/out"].Writes() {
+		t.Fatalf("out op = %v", s.Paths["/d/out"])
+	}
+	if !s.Paths["log"].Writes() {
+		t.Fatalf("log op = %v", s.Paths["log"])
+	}
+}
+
+func TestSummarizeCommandDynamicPathIsTop(t *testing.T) {
+	sc := firstSimple(t, `grep x "$f"`)
+	s := SummarizeCommand(sc, lib())
+	if !s.Unknown.Reads() {
+		t.Fatalf("dynamic grep operand unknown = %v, want ⊤ read", s.Unknown)
+	}
+	sc = firstSimple(t, `sort >"$out"`)
+	s = SummarizeCommand(sc, lib())
+	if !s.Unknown.Writes() {
+		t.Fatalf("dynamic redirect unknown = %v, want ⊤ write", s.Unknown)
+	}
+}
+
+func TestSummarizeCommandGlobWidens(t *testing.T) {
+	sc := firstSimple(t, "wc -l *.txt")
+	s := SummarizeCommand(sc, lib())
+	if !s.Unknown.Reads() {
+		t.Fatalf("glob operand unknown = %v, want ⊤ read", s.Unknown)
+	}
+}
+
+func TestSummarizeCommandCmdSubstIsTop(t *testing.T) {
+	sc := firstSimple(t, "grep x $(cat list)")
+	s := SummarizeCommand(sc, lib())
+	if !s.Unknown.Writes() || !s.Unknown.Reads() {
+		t.Fatalf("cmdsubst unknown = %v, want full ⊤", s.Unknown)
+	}
+}
+
+func TestNormalizeAndString(t *testing.T) {
+	s := NewSummary()
+	s.Touch("a.txt", OpRead)
+	s.Touch("/abs/b", OpWrite)
+	n := s.Normalize("/work")
+	if _, ok := n.Paths["/work/a.txt"]; !ok {
+		t.Fatalf("normalize missed relative path: %v", n.Paths)
+	}
+	if got := n.String(); got != "reads[/work/a.txt] writes[/abs/b]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := NewSummary().String(); got != "pure" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}
+
+// --- hazards ---
+
+func TestConflictsWriteWrite(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	a.Touch("/d/f", OpWrite)
+	b.Touch("/d/f", OpCreate)
+	hs := Conflicts(a, b, "A", "B")
+	if len(hs) != 1 || hs[0].Kind != WriteWrite {
+		t.Fatalf("hazards = %v, want one write-write", hs)
+	}
+}
+
+func TestConflictsReadWrite(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	a.Touch("/d/f", OpRead)
+	b.Touch("/d/f", OpWrite)
+	hs := Conflicts(a, b, "reader", "writer")
+	if len(hs) != 1 || hs[0].Kind != ReadWrite || hs[0].A != "writer" {
+		t.Fatalf("hazards = %v, want read-after-write with writer as A", hs)
+	}
+}
+
+func TestConflictsTop(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	a.Unknown = OpWrite
+	b.Touch("/d/f", OpRead)
+	hs := Conflicts(a, b, "A", "B")
+	if len(hs) != 1 || hs[0].Kind != TopConflict {
+		t.Fatalf("hazards = %v, want one ⊤ conflict", hs)
+	}
+	// ⊤ vs ⊤ stays silent: nothing actionable.
+	c := NewSummary()
+	c.Unknown = OpWrite
+	if hs := Conflicts(a, c, "A", "C"); len(hs) != 0 {
+		t.Fatalf("⊤-vs-⊤ hazards = %v, want none", hs)
+	}
+}
+
+func TestConflictsDisjointPathsSafe(t *testing.T) {
+	a, b := NewSummary(), NewSummary()
+	a.Touch("/d/f", OpWrite)
+	b.Touch("/d/g", OpWrite)
+	if hs := Conflicts(a, b, "A", "B"); len(hs) != 0 {
+		t.Fatalf("disjoint hazards = %v, want none", hs)
+	}
+}
+
+func TestGraphHazardsConflict(t *testing.T) {
+	g, err := dfg.FromPipeline(
+		[][]string{{"grep", "-c", "x", "/d/f"}, {"sort", "-rn"}},
+		lib(), dfg.Binding{StdoutFile: "/d/f", StdoutAppend: true})
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	hs := GraphHazards(g, lib(), "/")
+	if len(hs) == 0 {
+		t.Fatal("no hazards for read|...>>same-file")
+	}
+	if hs[0].Kind != ReadWrite {
+		t.Fatalf("hazard kind = %v, want read-after-write", hs[0].Kind)
+	}
+	if hs[0].Path != "/d/f" {
+		t.Fatalf("hazard path = %q", hs[0].Path)
+	}
+}
+
+func TestGraphHazardsClean(t *testing.T) {
+	g, err := dfg.FromPipeline(
+		[][]string{{"grep", "-c", "x", "/d/f"}, {"sort", "-rn"}},
+		lib(), dfg.Binding{StdoutFile: "/d/out"})
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	if hs := GraphHazards(g, lib(), "/"); len(hs) != 0 {
+		t.Fatalf("hazards = %v, want none", hs)
+	}
+}
+
+func TestReplicationHazard(t *testing.T) {
+	l := lib()
+	if err := ReplicationHazard(l.Resolve([]string{"grep", "x"})); err != nil {
+		t.Fatalf("grep replication hazard: %v", err)
+	}
+	if err := ReplicationHazard(l.Resolve([]string{"sort", "-o", "out"})); err == nil {
+		t.Fatal("sort -o replication allowed")
+	}
+	if err := ReplicationHazard(nil); err == nil {
+		t.Fatal("spec-less node replication allowed")
+	}
+}
+
+// --- def-use ---
+
+func TestUseBeforeAssign(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "echo $X\nX=1\necho $X"))
+	if len(du.UseBeforeDefs) != 1 || du.UseBeforeDefs[0].Name != "X" {
+		t.Fatalf("use-before-defs = %v, want one for X", du.UseBeforeDefs)
+	}
+}
+
+func TestNoUseBeforeAssignWhenNeverDefined(t *testing.T) {
+	// A variable never assigned anywhere is assumed to come from the
+	// environment — not a flow bug.
+	du := AnalyzeDefUse(mustParse(t, "echo $NEVER_SET"))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none", du.UseBeforeDefs)
+	}
+}
+
+func TestSelfReferenceNotUseBeforeAssign(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "PATH=$PATH:/opt/bin\nexport PATH"))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none for self-reference", du.UseBeforeDefs)
+	}
+}
+
+func TestGuardedUseNotUseBeforeAssign(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "echo ${X:-default}\nX=1\necho $X"))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none for guarded use", du.UseBeforeDefs)
+	}
+}
+
+func TestLoopCarriedUseNotReported(t *testing.T) {
+	src := "while read line; do\n  total=\"$total $line\"\ndone\necho $total"
+	du := AnalyzeDefUse(mustParse(t, src))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none for loop-carried use", du.UseBeforeDefs)
+	}
+}
+
+func TestDeadAssignment(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "X=1\nX=2\necho $X"))
+	dead := du.DeadDefs()
+	if len(dead) != 1 || dead[0].Name != "X" {
+		t.Fatalf("dead defs = %v, want the first X", dead)
+	}
+}
+
+func TestUsedAssignmentNotDead(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "X=1\necho $X\nX=2\necho $X"))
+	if dead := du.DeadDefs(); len(dead) != 0 {
+		t.Fatalf("dead defs = %v, want none", dead)
+	}
+}
+
+func TestConditionalOverwriteNotDead(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "X=1\nif test -f /f; then\n  X=2\nfi\necho $X"))
+	if dead := du.DeadDefs(); len(dead) != 0 {
+		t.Fatalf("dead defs = %v, want none for conditional overwrite", dead)
+	}
+}
+
+func TestCmdSubstValueNotDead(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "X=$(date)\nX=2\necho $X"))
+	if dead := du.DeadDefs(); len(dead) != 0 {
+		t.Fatalf("dead defs = %v, want none when value runs a command", dead)
+	}
+}
+
+func TestLocalThenAssignNotDead(t *testing.T) {
+	src := "f() {\n  local x\n  x=1\n  echo $x\n}\nf"
+	du := AnalyzeDefUse(mustParse(t, src))
+	if dead := du.DeadDefs(); len(dead) != 0 {
+		t.Fatalf("dead defs = %v, want none for local-then-assign", dead)
+	}
+}
+
+func TestSubshellAssignmentLost(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "(X=1)\necho $X"))
+	if len(du.Lost) != 1 || du.Lost[0].Def.Name != "X" {
+		t.Fatalf("lost = %v, want one for X", du.Lost)
+	}
+}
+
+func TestPipelineAssignmentLost(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "echo hi | read X\necho $X"))
+	if len(du.Lost) != 1 || du.Lost[0].Def.Name != "X" {
+		t.Fatalf("lost = %v, want one for X", du.Lost)
+	}
+}
+
+func TestSubshellAssignmentWithoutUseNotReported(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "(X=1)\necho done"))
+	if len(du.Lost) != 0 {
+		t.Fatalf("lost = %v, want none without a later use", du.Lost)
+	}
+}
+
+func TestParentRedefClearsLost(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "(X=1)\nX=2\necho $X"))
+	if len(du.Lost) != 0 {
+		t.Fatalf("lost = %v, want none after parent redef", du.Lost)
+	}
+}
+
+func TestWhileLoopPipelineNotLost(t *testing.T) {
+	// `... | while read x` is JSH302's finding; the def-use layer must
+	// not duplicate it.
+	src := "cat /f | while read x; do\n  echo $x\ndone"
+	du := AnalyzeDefUse(mustParse(t, src))
+	if len(du.Lost) != 0 {
+		t.Fatalf("lost = %v, want none for while-tail pipeline", du.Lost)
+	}
+}
+
+func TestReadDefinesVariables(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "read a b\necho $a $b"))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none", du.UseBeforeDefs)
+	}
+	var kinds []DefKind
+	for _, d := range du.Defs {
+		kinds = append(kinds, d.Kind)
+	}
+	if len(du.Defs) != 2 || kinds[0] != DefRead {
+		t.Fatalf("defs = %v kinds = %v, want two read defs", du.Defs, kinds)
+	}
+}
+
+func TestForLoopVariable(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "for f in a b; do\n  echo $f\ndone"))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v", du.UseBeforeDefs)
+	}
+	if len(du.Defs) != 1 || du.Defs[0].Kind != DefFor {
+		t.Fatalf("defs = %v, want one for-def", du.Defs)
+	}
+}
+
+func TestFunctionCallDefines(t *testing.T) {
+	src := "setup() {\n  CONF=/etc/app\n}\nsetup\necho $CONF"
+	du := AnalyzeDefUse(mustParse(t, src))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none (function assigns CONF)", du.UseBeforeDefs)
+	}
+}
+
+func TestArithUseGuarded(t *testing.T) {
+	du := AnalyzeDefUse(mustParse(t, "n=$((n+1))\necho $n"))
+	if len(du.UseBeforeDefs) != 0 {
+		t.Fatalf("use-before-defs = %v, want none for arith counter", du.UseBeforeDefs)
+	}
+}
+
+func TestExamplesStayClean(t *testing.T) {
+	// The representative example scripts must produce no flow findings.
+	srcs := []string{
+		"set -e\nDIR=\"/data\"\nfor f in \"$DIR\"/*.txt; do\n  grep -c pattern \"$f\" >>counts.txt\ndone\nsort -rn counts.txt | head -n5",
+		"DICT=/usr/share/dict/words\nFILES=\"/docs/a.txt /docs/b.txt\"\ncat $FILES | tr A-Z a-z | sort -u | comm -13 $DICT -",
+	}
+	for _, src := range srcs {
+		du := AnalyzeDefUse(mustParse(t, src))
+		if len(du.UseBeforeDefs) != 0 || len(du.Lost) != 0 || len(du.DeadDefs()) != 0 {
+			t.Fatalf("script %q: ubd=%v lost=%v dead=%v",
+				strings.SplitN(src, "\n", 2)[0], du.UseBeforeDefs, du.Lost, du.DeadDefs())
+		}
+	}
+}

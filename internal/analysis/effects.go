@@ -1,0 +1,495 @@
+// Package analysis is the static effect-and-dataflow engine the paper's
+// §4 "Heuristic support" calls for: the whole-region analyses that make
+// JIT rewrites trustworthy. PaSh/POSH trust per-command annotations in
+// isolation; this package composes them into region-level facts:
+//
+//   - filesystem effect summaries per command (paths read, written,
+//     created, removed — derived from the spec library, redirections,
+//     and argument classification, with a conservative ⊤ for dynamic
+//     paths like $f or globs),
+//   - variable def-use chains with scope tracking (package defuse.go),
+//   - a plan preflight hazard checker (hazard.go) that detects
+//     write-write and read-after-write conflicts between nodes an
+//     optimized plan would run concurrently.
+//
+// Consumers: internal/core gates compilation on the preflight (the
+// `hazard-reject` decision), internal/rewrite refuses lane replication
+// for nodes with write effects, and internal/lint's JSH4xx family turns
+// the same facts into flow-sensitive diagnostics.
+package analysis
+
+import (
+	"path"
+	"sort"
+	"strings"
+
+	"jash/internal/spec"
+	"jash/internal/syntax"
+)
+
+// Op is a bitmask of filesystem operations a command may perform on one
+// path. The lattice is the powerset; ⊤ is "any op on an unknown path",
+// represented by Summary.Unknown.
+type Op uint8
+
+const (
+	// OpRead consumes the file's content.
+	OpRead Op = 1 << iota
+	// OpWrite modifies content (truncate, overwrite, or append).
+	OpWrite
+	// OpCreate may bring the file into existence.
+	OpCreate
+	// OpRemove may delete the file.
+	OpRemove
+)
+
+// Writes reports whether the op set mutates the filesystem.
+func (o Op) Writes() bool { return o&(OpWrite|OpCreate|OpRemove) != 0 }
+
+// Reads reports whether the op set consumes file content.
+func (o Op) Reads() bool { return o&OpRead != 0 }
+
+func (o Op) String() string {
+	if o == 0 {
+		return "none"
+	}
+	var parts []string
+	if o&OpRead != 0 {
+		parts = append(parts, "read")
+	}
+	if o&OpWrite != 0 {
+		parts = append(parts, "write")
+	}
+	if o&OpCreate != 0 {
+		parts = append(parts, "create")
+	}
+	if o&OpRemove != 0 {
+		parts = append(parts, "remove")
+	}
+	return strings.Join(parts, "+")
+}
+
+// Summary is one command's (or region's) filesystem effect summary.
+type Summary struct {
+	// Paths maps each statically-known path to the ops performed on it.
+	// Keys are kept as written (relative paths stay relative); Normalize
+	// resolves them against a directory.
+	Paths map[string]Op
+	// Unknown holds ops performed on paths the analysis cannot name: a
+	// dynamic operand ($f), an unquoted glob, an unknown command. This is
+	// the conservative ⊤ of the per-path lattice.
+	Unknown Op
+	// ReadsStdin / WritesStdout track the terminal streams.
+	ReadsStdin   bool
+	WritesStdout bool
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary { return &Summary{Paths: map[string]Op{}} }
+
+// Touch records ops on a path. Empty paths are ignored.
+func (s *Summary) Touch(p string, op Op) {
+	if p == "" || op == 0 {
+		return
+	}
+	s.Paths[p] |= op
+}
+
+// Union folds another summary into this one.
+func (s *Summary) Union(o *Summary) {
+	if o == nil {
+		return
+	}
+	for p, op := range o.Paths {
+		s.Paths[p] |= op
+	}
+	s.Unknown |= o.Unknown
+	s.ReadsStdin = s.ReadsStdin || o.ReadsStdin
+	s.WritesStdout = s.WritesStdout || o.WritesStdout
+}
+
+// WritesAnything reports whether the summary mutates any path, known or
+// unknown.
+func (s *Summary) WritesAnything() bool {
+	if s.Unknown.Writes() {
+		return true
+	}
+	for _, op := range s.Paths {
+		if op.Writes() {
+			return true
+		}
+	}
+	return false
+}
+
+// RelativePaths returns the cwd-dependent paths in the summary matching
+// the op filter, sorted. These are the effects a later `cd` invalidates.
+func (s *Summary) RelativePaths(filter func(Op) bool) []string {
+	var out []string
+	for p, op := range s.Paths {
+		if !strings.HasPrefix(p, "/") && filter(op) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize resolves every relative path against dir and cleans the
+// result, returning a new summary. Use before comparing summaries that
+// may come from different working directories.
+func (s *Summary) Normalize(dir string) *Summary {
+	ns := NewSummary()
+	ns.Unknown = s.Unknown
+	ns.ReadsStdin = s.ReadsStdin
+	ns.WritesStdout = s.WritesStdout
+	for p, op := range s.Paths {
+		ns.Paths[NormalizePath(dir, p)] = op
+	}
+	return ns
+}
+
+// NormalizePath resolves p against dir (when relative) and cleans it.
+func NormalizePath(dir, p string) string {
+	if p == "" {
+		return p
+	}
+	if !strings.HasPrefix(p, "/") {
+		if dir == "" {
+			dir = "/"
+		}
+		p = dir + "/" + p
+	}
+	return path.Clean(p)
+}
+
+// String renders the summary deterministically, for golden tests and
+// jashexplain: `reads[a b] writes[c] stdin stdout ⊤[write]`.
+func (s *Summary) String() string {
+	byOp := func(filter Op) []string {
+		var out []string
+		for p, op := range s.Paths {
+			if op&filter != 0 {
+				out = append(out, p)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	var parts []string
+	if ps := byOp(OpRead); len(ps) > 0 {
+		parts = append(parts, "reads["+strings.Join(ps, " ")+"]")
+	}
+	if ps := byOp(OpWrite | OpCreate); len(ps) > 0 {
+		parts = append(parts, "writes["+strings.Join(ps, " ")+"]")
+	}
+	if ps := byOp(OpRemove); len(ps) > 0 {
+		parts = append(parts, "removes["+strings.Join(ps, " ")+"]")
+	}
+	if s.ReadsStdin {
+		parts = append(parts, "stdin")
+	}
+	if s.WritesStdout {
+		parts = append(parts, "stdout")
+	}
+	if s.Unknown != 0 {
+		parts = append(parts, "⊤["+s.Unknown.String()+"]")
+	}
+	if len(parts) == 0 {
+		return "pure"
+	}
+	return strings.Join(parts, " ")
+}
+
+// mutators maps commands with filesystem write effects that the spec
+// library's dataflow classes don't localize: which argv positions they
+// mutate and how. Commands absent from both this table and the spec
+// library get the conservative ⊤ read+write.
+var mutators = map[string]func(s *Summary, args []string){
+	"tee": func(s *Summary, args []string) {
+		op := OpWrite | OpCreate
+		s.ReadsStdin, s.WritesStdout = true, true
+		for _, a := range operandsOf(args[1:], "") {
+			s.Touch(a, op)
+		}
+	},
+	"rm": func(s *Summary, args []string) {
+		for _, a := range operandsOf(args[1:], "") {
+			s.Touch(a, OpRemove)
+		}
+	},
+	"rmdir": func(s *Summary, args []string) {
+		for _, a := range operandsOf(args[1:], "") {
+			s.Touch(a, OpRemove)
+		}
+	},
+	"mkdir": func(s *Summary, args []string) {
+		for _, a := range operandsOf(args[1:], "") {
+			s.Touch(a, OpCreate)
+		}
+	},
+	"touch": func(s *Summary, args []string) {
+		for _, a := range operandsOf(args[1:], "") {
+			s.Touch(a, OpCreate|OpWrite)
+		}
+	},
+	"mv": func(s *Summary, args []string) {
+		ops := operandsOf(args[1:], "")
+		for i, a := range ops {
+			if i == len(ops)-1 && len(ops) > 1 {
+				s.Touch(a, OpWrite|OpCreate)
+			} else {
+				s.Touch(a, OpRead|OpRemove)
+			}
+		}
+	},
+	"cp": func(s *Summary, args []string) {
+		ops := operandsOf(args[1:], "")
+		for i, a := range ops {
+			if i == len(ops)-1 && len(ops) > 1 {
+				s.Touch(a, OpWrite|OpCreate)
+			} else {
+				s.Touch(a, OpRead)
+			}
+		}
+	},
+	"xargs": func(s *Summary, args []string) {
+		// Builds and runs arbitrary command lines: ⊤.
+		s.ReadsStdin = true
+		s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
+	},
+	"eval": func(s *Summary, args []string) {
+		s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
+	},
+}
+
+// sort -o FILE writes FILE; handled separately because sort is otherwise
+// a pure spec-library command.
+func sortOutputFlag(s *Summary, args []string) {
+	for i := 1; i < len(args); i++ {
+		if args[i] == "-o" && i+1 < len(args) {
+			s.Touch(args[i+1], OpWrite|OpCreate)
+		} else if strings.HasPrefix(args[i], "-o") && len(args[i]) > 2 {
+			s.Touch(args[i][2:], OpWrite|OpCreate)
+		}
+	}
+}
+
+// pureBuiltins are shell builtins and utilities with no filesystem
+// effects beyond their redirections (cd's cwd effect is tracked by the
+// JSH404 lint rule, not as a path effect).
+var pureBuiltins = map[string]bool{
+	"echo": true, "printf": true, "test": true, "[": true, "true": true,
+	"false": true, ":": true, "set": true, "export": true, "readonly": true,
+	"local": true, "unset": true, "shift": true, "cd": true, "pwd": true,
+	"exit": true, "return": true, "break": true, "continue": true,
+	"trap": true, "getopts": true, "umask": true, "wait": true, "read": true,
+	"seq": true, "date": true, "basename": true, "dirname": true, "expr": true,
+	"sleep": true, "env": true, "type": true,
+}
+
+// operandsOf extracts non-flag operands (shared with spec's scanner
+// shape, duplicated here to keep the dependency one-way).
+func operandsOf(args []string, valueFlags string) []string {
+	var ops []string
+	seenDashDash := false
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case seenDashDash:
+			ops = append(ops, a)
+		case a == "--":
+			seenDashDash = true
+		case a == "-":
+			ops = append(ops, a)
+		case strings.HasPrefix(a, "-") && len(a) > 1:
+			if last := a[len(a)-1]; strings.IndexByte(valueFlags, last) >= 0 {
+				i++
+			}
+		default:
+			ops = append(ops, a)
+		}
+	}
+	return ops
+}
+
+// SummarizeArgv computes the effect summary of a fully-expanded command
+// invocation resolved against the spec library. This is the runtime-side
+// entry point (core preflight, rewrite replication guard): every word is
+// concrete, so the only ⊤ sources are unknown commands and xargs-style
+// escape hatches.
+func SummarizeArgv(lib *spec.Library, args []string) *Summary {
+	s := NewSummary()
+	if len(args) == 0 {
+		return s
+	}
+	name := args[0]
+	if m, ok := mutators[name]; ok {
+		m(s, args)
+		return s
+	}
+	if name == "sort" {
+		sortOutputFlag(s, args)
+	}
+	if cs, ok := lib.Lookup(name); ok {
+		e := lib.Resolve(args)
+		for _, f := range e.InputFiles {
+			if f == "-" {
+				s.ReadsStdin = true
+				continue
+			}
+			s.Touch(f, OpRead)
+		}
+		if e.ReadsStdin {
+			s.ReadsStdin = true
+		}
+		s.WritesStdout = true
+		// Side-effectful specs without a mutator entry (unknown shape):
+		// assume ⊤ writes unless the spec marks it a pure generator.
+		if cs.Class == spec.SideEffectful && !cs.Generator && name != "tee" {
+			s.Unknown |= OpWrite | OpCreate | OpRemove
+		}
+		return s
+	}
+	if pureBuiltins[name] {
+		s.WritesStdout = true
+		if name == "read" {
+			s.ReadsStdin = true
+		}
+		return s
+	}
+	// Unknown command: arbitrary behaviour (the paper's B1) — ⊤.
+	s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
+	s.ReadsStdin = true
+	s.WritesStdout = true
+	return s
+}
+
+// SummarizeCommand computes the effect summary of a simple command from
+// its AST, before expansion. Static words contribute concrete paths;
+// dynamic words (parameter expansions, command substitutions) and
+// unquoted globs contribute ⊤ in the corresponding op. Redirections are
+// folded in.
+func SummarizeCommand(sc *syntax.SimpleCommand, lib *spec.Library) *Summary {
+	s := NewSummary()
+	if sc == nil {
+		return s
+	}
+	// Command substitutions anywhere in the words run arbitrary commands.
+	for _, w := range sc.Args {
+		syntax.Walk(w, func(n syntax.Node) bool {
+			if _, ok := n.(*syntax.CmdSubst); ok {
+				s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
+			}
+			return true
+		})
+	}
+	name := sc.Name()
+	allStatic := true
+	argv := make([]string, 0, len(sc.Args))
+	for _, w := range sc.Args {
+		if !w.IsStatic() {
+			allStatic = false
+			break
+		}
+		argv = append(argv, w.StaticValue())
+	}
+	switch {
+	case name == "":
+		// $CMD args: we cannot even name the command.
+		s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
+	case allStatic:
+		s.Union(SummarizeArgv(lib, argv))
+		// Unquoted globs in static operands resolve at runtime: the
+		// concrete path recorded above may be a pattern — widen reads.
+		for _, w := range sc.Args[1:] {
+			if hasUnquotedGlob(w) {
+				s.Unknown |= OpRead
+			}
+		}
+	default:
+		// Dynamic operands: classify per the command's shape, with ⊤ for
+		// the paths themselves.
+		if m := mutatorOp(name); m != 0 {
+			s.Unknown |= m
+		}
+		if cs, ok := lib.Lookup(name); ok {
+			if cs.OperandsAreInputs {
+				s.Unknown |= OpRead
+			}
+			s.WritesStdout = true
+			if cs.Class == spec.SideEffectful && !cs.Generator {
+				s.Unknown |= OpWrite | OpCreate | OpRemove
+			}
+		} else if !pureBuiltins[name] && mutatorOp(name) == 0 {
+			s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
+		}
+		// Static operands among the dynamic ones still name real paths.
+		if cs, ok := lib.Lookup(name); ok && cs.OperandsAreInputs {
+			for _, w := range sc.Args[1:] {
+				if w.IsStatic() {
+					if v := w.StaticValue(); v != "" && v != "-" && !strings.HasPrefix(v, "-") && !hasUnquotedGlob(w) {
+						s.Touch(v, OpRead)
+					}
+				}
+			}
+		}
+	}
+	// Redirections.
+	for _, r := range sc.Redirections {
+		op := redirOp(r.Op)
+		if op == 0 {
+			continue
+		}
+		if r.Target == nil || !r.Target.IsStatic() || hasUnquotedGlob(r.Target) {
+			s.Unknown |= op
+			continue
+		}
+		s.Touch(r.Target.StaticValue(), op)
+	}
+	return s
+}
+
+// mutatorOp returns the op set a mutator-table command applies to its
+// operands, or 0 when the command is not a mutator.
+func mutatorOp(name string) Op {
+	switch name {
+	case "tee", "touch":
+		return OpWrite | OpCreate
+	case "mkdir":
+		return OpCreate
+	case "rm", "rmdir":
+		return OpRemove
+	case "mv":
+		return OpRead | OpWrite | OpCreate | OpRemove
+	case "cp":
+		return OpRead | OpWrite | OpCreate
+	case "xargs", "eval":
+		return OpRead | OpWrite | OpCreate | OpRemove
+	}
+	return 0
+}
+
+// redirOp maps a redirection operator to its filesystem effect.
+func redirOp(op syntax.RedirOp) Op {
+	switch op {
+	case syntax.RedirIn:
+		return OpRead
+	case syntax.RedirOut, syntax.RedirClobber, syntax.RedirAppend:
+		return OpWrite | OpCreate
+	case syntax.RedirInOut:
+		return OpRead | OpWrite | OpCreate
+	}
+	return 0 // heredocs and fd-dups touch no named file
+}
+
+// hasUnquotedGlob reports whether the word contains glob metacharacters
+// outside quotes.
+func hasUnquotedGlob(w *syntax.Word) bool {
+	for _, part := range w.Parts {
+		if l, ok := part.(*syntax.Lit); ok && strings.ContainsAny(l.Value, "*?[") {
+			return true
+		}
+	}
+	return false
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"time"
 
+	"jash/internal/analysis"
 	"jash/internal/cost"
 	"jash/internal/dfg"
 	"jash/internal/exec"
@@ -96,6 +97,10 @@ type Stats struct {
 	// output and were transparently re-run through the interpreter — the
 	// paper's no-regression rule extended to faults.
 	Fallbacks int
+	// HazardRejects counts pipelines the static preflight refused to
+	// compile: their nodes would race on a file if run concurrently
+	// (write-write or read-after-write), so they interpret instead.
+	HazardRejects int
 }
 
 // Shell is a Jash session.
@@ -222,6 +227,17 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	graph, facts, text, ok := s.analyze(in, st, staticOnly)
 	if !ok {
 		s.Stats.Interpreted++
+		return 0, false
+	}
+	// Static preflight: a dataflow plan runs every node concurrently, so
+	// any pair of nodes whose effect summaries conflict on a file would
+	// race. Such a region is never compiled — the interpreter's
+	// left-to-right, stage-by-stage semantics are the only safe ones.
+	if hz := analysis.GraphHazards(graph, s.Lib, in.Dir); len(hz) > 0 {
+		s.Stats.Interpreted++
+		s.Stats.HazardRejects++
+		s.record(Decision{Pipeline: text, Strategy: "hazard-reject",
+			Reason: hz[0].String()})
 		return 0, false
 	}
 	var chosen *dfg.Graph

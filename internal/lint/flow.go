@@ -1,0 +1,102 @@
+// Flow-sensitive rules (the JSH4xx family): unlike the syntax-local
+// checks in lint.go, these consume package analysis's def-use chains and
+// effect summaries, giving the linter whole-script dataflow facts.
+
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"jash/internal/analysis"
+	"jash/internal/syntax"
+)
+
+// checkFlow runs the def-use driven rules over the whole script.
+func (l *Linter) checkFlow(script *syntax.Script, add func(Finding)) {
+	du := analysis.AnalyzeDefUse(script)
+	// JSH401: a variable is read before any assignment, and an assignment
+	// appears later in the same scope — almost always a misordering.
+	for _, u := range du.UseBeforeDefs {
+		add(Finding{
+			Code: "JSH401", Severity: Warning, Pos: u.UsePos,
+			Message: fmt.Sprintf("%s is used here but only assigned later (line %d); this use sees an empty value",
+				"$"+u.Name, u.DefPos.Line),
+			Suggestion: "move the assignment before the first use",
+		})
+	}
+	// JSH402: an assigned value is overwritten before any read.
+	for _, d := range du.DeadDefs() {
+		add(Finding{
+			Code: "JSH402", Severity: Warning, Pos: d.Pos,
+			Message: fmt.Sprintf("value assigned to %s is never used: line %d overwrites it first",
+				d.Name, d.KilledBy.Pos.Line),
+			Suggestion: "remove the dead assignment or use the value before reassigning",
+		})
+	}
+	// JSH403: an assignment made in a subshell copy of the environment
+	// (subshell, background job, or pipeline stage) with a later use in
+	// the parent, which can never see the value.
+	for _, lost := range du.Lost {
+		add(Finding{
+			Code: "JSH403", Severity: Warning, Pos: lost.Def.Pos,
+			Message: fmt.Sprintf("%s is assigned in a subshell; the use at line %d cannot see the value",
+				lost.Def.Name, lost.UsePos.Line),
+			Suggestion: "assign in the parent shell, or restructure to avoid the subshell",
+		})
+	}
+	l.checkCdInvalidation(script, add)
+}
+
+// checkCdInvalidation flags JSH404: a relative path is touched both
+// before and after a `cd` — the same name resolves to two different
+// files, which is rarely what the author meant.
+func (l *Linter) checkCdInvalidation(script *syntax.Script, add func(Finding)) {
+	type touch struct {
+		pos  syntax.Pos
+		line int
+	}
+	preCd := map[string]touch{} // relative path -> first touch before any cd
+	cdSeen := false
+	var cdLine int
+	reported := map[string]bool{}
+	for _, st := range script.Stmts {
+		syntax.Walk(st, func(n syntax.Node) bool {
+			sc, ok := n.(*syntax.SimpleCommand)
+			if !ok {
+				return true
+			}
+			if sc.Name() == "cd" {
+				// `cd` with a static "." or "" target changes nothing.
+				if len(sc.Args) > 1 && sc.Args[1].IsStatic() && sc.Args[1].StaticValue() == "." {
+					return true
+				}
+				cdSeen = true
+				cdLine = sc.Pos().Line
+				return true
+			}
+			s := analysis.SummarizeCommand(sc, l.Lib)
+			for _, p := range s.RelativePaths(func(analysis.Op) bool { return true }) {
+				if strings.HasPrefix(p, "-") {
+					continue
+				}
+				if !cdSeen {
+					if _, seen := preCd[p]; !seen {
+						preCd[p] = touch{pos: sc.Pos(), line: sc.Pos().Line}
+					}
+					continue
+				}
+				if first, seen := preCd[p]; seen && !reported[p] {
+					reported[p] = true
+					add(Finding{
+						Code: "JSH404", Severity: Warning, Pos: sc.Pos(),
+						Message: fmt.Sprintf("relative path %q was used at line %d, but the cd at line %d makes it name a different file here",
+							p, first.line, cdLine),
+						Suggestion: "use an absolute path, or anchor paths to a variable set before the cd",
+					})
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import "testing"
+
+// --- JSH401: use before assign ---
+
+func TestUseBeforeAssignFlagged(t *testing.T) {
+	fs := findings(t, "echo $X\nX=1\necho $X\n")
+	if !hasCode(fs, "JSH401") {
+		t.Errorf("use-before-assign not flagged: %s", codesOf(fs))
+	}
+	for _, f := range fs {
+		if f.Code == "JSH401" && f.Pos.Line != 1 {
+			t.Errorf("JSH401 at line %d, want 1", f.Pos.Line)
+		}
+	}
+}
+
+func TestUseBeforeAssignQuietCases(t *testing.T) {
+	for _, src := range []string{
+		"X=1\necho $X\n",                  // correct order
+		"echo $NEVER_ASSIGNED\n",          // environment variable
+		"echo ${X:-fallback}\nX=1\n",      // guarded use
+		"PATH=$PATH:/opt/bin\n",           // self-reference
+		"echo $HOME\nHOME=/tmp\n",         // ambient allowlist
+		"n=$((n+1))\necho $n\n",           // arithmetic counter
+		"while read l; do\n  t=\"$t$l\"\ndone\n", // loop-carried
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH401") {
+			t.Errorf("JSH401 false positive on %q: %s", src, codesOf(fs))
+		}
+	}
+}
+
+// --- JSH402: dead assignment ---
+
+func TestDeadAssignmentFlagged(t *testing.T) {
+	fs := findings(t, "X=1\nX=2\necho $X\n")
+	if !hasCode(fs, "JSH402") {
+		t.Errorf("dead assignment not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestDeadAssignmentQuietCases(t *testing.T) {
+	for _, src := range []string{
+		"X=1\necho $X\nX=2\necho $X\n",            // both used
+		"X=1\nif true; then\n  X=2\nfi\necho $X\n", // conditional overwrite
+		"X=$(date)\nX=2\necho $X\n",                // value ran a command
+		"f() {\n  local x\n  x=1\n  echo $x\n}\nf\n", // local-then-assign idiom
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH402") {
+			t.Errorf("JSH402 false positive on %q: %s", src, codesOf(fs))
+		}
+	}
+}
+
+// --- JSH403: subshell assignment lost with a later use ---
+
+func TestSubshellAssignmentLostFlagged(t *testing.T) {
+	fs := findings(t, "(X=1)\necho $X\n")
+	if !hasCode(fs, "JSH403") {
+		t.Errorf("subshell loss not flagged: %s", codesOf(fs))
+	}
+	fs = findings(t, "echo value | read X\necho $X\n")
+	if !hasCode(fs, "JSH403") {
+		t.Errorf("pipeline-stage loss not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestSubshellAssignmentQuietCases(t *testing.T) {
+	for _, src := range []string{
+		"(X=1)\necho done\n",        // no later use
+		"(X=1)\nX=2\necho $X\n",     // parent redefines first
+		"X=1\n(echo $X)\necho $X\n", // parent def used in subshell
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH403") {
+			t.Errorf("JSH403 false positive on %q: %s", src, codesOf(fs))
+		}
+	}
+	// The piped-while shape belongs to JSH302, not JSH403.
+	fs := findings(t, "cat /f | while read x; do\n  n=$x\ndone\necho $n\n")
+	if hasCode(fs, "JSH403") {
+		t.Errorf("JSH403 double-reports the JSH302 shape: %s", codesOf(fs))
+	}
+	if !hasCode(fs, "JSH302") {
+		t.Errorf("JSH302 missing on piped while: %s", codesOf(fs))
+	}
+}
+
+// --- JSH404: cd invalidates relative paths ---
+
+func TestCdInvalidatesRelativePath(t *testing.T) {
+	fs := findings(t, "set -e\nwc -l data.txt\ncd /tmp\nwc -l data.txt\n")
+	if !hasCode(fs, "JSH404") {
+		t.Errorf("relative path across cd not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestCdRelativeQuietCases(t *testing.T) {
+	for _, src := range []string{
+		"set -e\nwc -l /abs/data.txt\ncd /tmp\nwc -l /abs/data.txt\n", // absolute
+		"set -e\nwc -l a.txt\ncd /tmp\nwc -l b.txt\n",                 // different names
+		"set -e\nwc -l data.txt\nwc -l data.txt\n",                    // no cd
+		"set -e\ncd /tmp\nwc -l data.txt\nwc -l data.txt\n",           // both after cd
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH404") {
+			t.Errorf("JSH404 false positive on %q: %s", src, codesOf(fs))
+		}
+	}
+}
+
+// --- suppression directives ---
+
+func TestSuppressionSilencesFollowingLine(t *testing.T) {
+	src := "F=\"a.txt b.txt\"\n# jashlint:disable=JSH202\ncat $F\n"
+	if fs := findings(t, src); hasCode(fs, "JSH202") {
+		t.Errorf("suppressed JSH202 still reported: %s", codesOf(fs))
+	}
+	// Without the directive the finding is there.
+	if fs := findings(t, "F=\"a.txt b.txt\"\ncat $F\n"); !hasCode(fs, "JSH202") {
+		t.Errorf("JSH202 baseline missing: %s", codesOf(fs))
+	}
+}
+
+func TestSuppressionScopedToOneLineAndCode(t *testing.T) {
+	// The directive covers only the next line...
+	src := "F=\"a b\"\n# jashlint:disable=JSH202\ncat $F\ncat $F\n"
+	fs := findings(t, src)
+	count := 0
+	for _, f := range fs {
+		if f.Code == "JSH202" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("JSH202 count = %d, want 1 (only line 4 unsuppressed): %v", count, fs)
+	}
+	// ...and only the named code.
+	src = "# jashlint:disable=JSH206\nrm $DIR\n"
+	if fs := findings(t, src); !hasCode(fs, "JSH201") {
+		t.Errorf("unrelated code suppressed: %s", codesOf(fs))
+	}
+}
+
+func TestSuppressionMultipleCodes(t *testing.T) {
+	src := "F=\"a b\"\n# jashlint:disable=JSH202,JSH301\ncat $F | wc -l\n"
+	fs := findings(t, src)
+	if hasCode(fs, "JSH202") || hasCode(fs, "JSH301") {
+		t.Errorf("multi-code suppression failed: %s", codesOf(fs))
+	}
+}
+
+func TestUnknownSuppressionCodeReported(t *testing.T) {
+	fs := findings(t, "# jashlint:disable=JSH999\necho fine\n")
+	if !hasCode(fs, "JSH001") {
+		t.Errorf("unknown suppression code not reported: %s", codesOf(fs))
+	}
+	for _, f := range fs {
+		if f.Code == "JSH001" && f.Pos.Line != 1 {
+			t.Errorf("JSH001 at line %d, want the directive line 1", f.Pos.Line)
+		}
+	}
+}
+
+func TestKnownCodesCoverEmittedCodes(t *testing.T) {
+	for _, code := range []string{"JSH000", "JSH101", "JSH201", "JSH202", "JSH203",
+		"JSH204", "JSH205", "JSH206", "JSH207", "JSH301", "JSH302", "JSH303",
+		"JSH304", "JSH401", "JSH402", "JSH403", "JSH404"} {
+		if !KnownCodes[code] {
+			t.Errorf("KnownCodes missing %s", code)
+		}
+	}
+}

@@ -58,9 +58,23 @@ type Linter struct {
 // New returns a linter over the builtin specification library.
 func New() *Linter { return &Linter{Lib: spec.Builtin()} }
 
+// KnownCodes lists every diagnostic code the linter can emit, for
+// validating suppression directives.
+var KnownCodes = map[string]bool{
+	"JSH000": true, "JSH001": true, "JSH101": true,
+	"JSH201": true, "JSH202": true, "JSH203": true, "JSH204": true,
+	"JSH205": true, "JSH206": true, "JSH207": true,
+	"JSH301": true, "JSH302": true, "JSH303": true, "JSH304": true,
+	"JSH401": true, "JSH402": true, "JSH403": true, "JSH404": true,
+}
+
 // LintSource parses and lints a script, folding parse errors into the
-// findings (code JSH000).
+// findings (code JSH000) and honoring inline suppression comments: a
+// `# jashlint:disable=JSH201[,JSH202...]` comment silences those codes
+// on the following line. An unknown code in a directive is itself
+// reported (JSH001).
 func (l *Linter) LintSource(src string) []Finding {
+	suppressed, dirFindings := scanSuppressions(src)
 	script, err := syntax.Parse(src)
 	if err != nil {
 		pe, ok := err.(*syntax.ParseError)
@@ -72,7 +86,64 @@ func (l *Linter) LintSource(src string) []Finding {
 		}
 		return []Finding{{Code: "JSH000", Severity: Error, Pos: pos, Message: "syntax error: " + msg}}
 	}
-	return l.Lint(script)
+	fs := append(dirFindings, l.Lint(script)...)
+	if len(suppressed) > 0 {
+		kept := fs[:0]
+		for _, f := range fs {
+			if codes, ok := suppressed[f.Pos.Line]; ok && codes[f.Code] {
+				continue
+			}
+			kept = append(kept, f)
+		}
+		fs = kept
+	}
+	sortFindings(fs)
+	return fs
+}
+
+// scanSuppressions reads `# jashlint:disable=CODE[,CODE...]` comments
+// from the raw source (the parser discards comments) and returns the
+// per-line suppression sets — keyed by the line the directive protects,
+// i.e. the one after the comment — plus JSH001 findings for directives
+// naming codes the linter does not have.
+func scanSuppressions(src string) (map[int]map[string]bool, []Finding) {
+	const marker = "jashlint:disable="
+	var suppressed map[int]map[string]bool
+	var fs []Finding
+	for i, line := range strings.Split(src, "\n") {
+		hash := strings.Index(line, "#")
+		if hash < 0 {
+			continue
+		}
+		comment := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line[hash+1:]), "#"))
+		if !strings.HasPrefix(comment, marker) {
+			continue
+		}
+		lineNo := i + 1
+		for _, code := range strings.Split(comment[len(marker):], ",") {
+			code = strings.TrimSpace(code)
+			if code == "" {
+				continue
+			}
+			if !KnownCodes[code] {
+				fs = append(fs, Finding{
+					Code: "JSH001", Severity: Warning,
+					Pos:        syntax.Pos{Line: lineNo, Col: hash + 1},
+					Message:    fmt.Sprintf("suppression names unknown code %q", code),
+					Suggestion: "check the code against the JSHxxx list in README",
+				})
+				continue
+			}
+			if suppressed == nil {
+				suppressed = map[int]map[string]bool{}
+			}
+			if suppressed[lineNo+1] == nil {
+				suppressed[lineNo+1] = map[string]bool{}
+			}
+			suppressed[lineNo+1][code] = true
+		}
+	}
+	return suppressed, fs
 }
 
 // Lint analyzes a parsed script.
@@ -80,6 +151,7 @@ func (l *Linter) Lint(script *syntax.Script) []Finding {
 	var fs []Finding
 	add := func(f Finding) { fs = append(fs, f) }
 	l.checkUnguardedCd(script, add)
+	l.checkFlow(script, add)
 	syntax.Walk(script, func(n syntax.Node) bool {
 		switch x := n.(type) {
 		case *syntax.SimpleCommand:
@@ -99,13 +171,17 @@ func (l *Linter) Lint(script *syntax.Script) []Finding {
 		}
 		return true
 	})
+	sortFindings(fs)
+	return fs
+}
+
+func sortFindings(fs []Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Pos.Line != fs[j].Pos.Line {
 			return fs[i].Pos.Line < fs[j].Pos.Line
 		}
 		return fs[i].Pos.Col < fs[j].Pos.Col
 	})
-	return fs
 }
 
 func (l *Linter) checkSimple(sc *syntax.SimpleCommand, add func(Finding)) {

@@ -10,6 +10,7 @@ package rewrite
 import (
 	"fmt"
 
+	"jash/internal/analysis"
 	"jash/internal/cost"
 	"jash/internal/dfg"
 	"jash/internal/spec"
@@ -157,6 +158,14 @@ func Parallelize(g *dfg.Graph, opts Options) (*dfg.Graph, error) {
 	segmentNodes := append([]*dfg.Node(nil), seg.stages...)
 	if seg.tail != nil {
 		segmentNodes = append(segmentNodes, seg.tail)
+	}
+	// Replication guard: a lane copy of a node that writes a named path
+	// (sort -o, tee) races with its siblings on that path. The effect
+	// summary must prove each replicated node write-free.
+	for _, n := range segmentNodes {
+		if err := analysis.ReplicationHazard(n.Spec); err != nil {
+			return nil, fmt.Errorf("rewrite: refusing replication: %w", err)
+		}
 	}
 	for _, n := range segmentNodes {
 		ng.RemoveNode(n.ID)

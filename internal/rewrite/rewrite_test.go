@@ -156,6 +156,43 @@ func TestParallelizeRejectsBlockingOnly(t *testing.T) {
 	}
 }
 
+// writingSegmentGraph is fig1 with a segment stage whose effect summary
+// writes a concrete path (a tee-shaped spec): replicating it across
+// lanes would race on that path.
+func writingSegmentGraph(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := fig1Graph(t)
+	for _, n := range g.Nodes {
+		if n.Kind == dfg.KindCommand && len(n.Argv) > 0 && n.Argv[0] == "tr" {
+			ne := *n.Spec
+			ne.Name = "tee"
+			ne.Args = []string{"tee", "/copy"}
+			n.Spec = &ne
+			break
+		}
+	}
+	return g
+}
+
+func TestParallelizeRefusesWritingNode(t *testing.T) {
+	g := writingSegmentGraph(t)
+	if _, err := Parallelize(g, Options{Width: 4}); err == nil ||
+		!strings.Contains(err.Error(), "replica") {
+		t.Fatalf("err = %v, want replication refusal", err)
+	}
+}
+
+func TestJashPlanKeepsSequentialOnWritingNode(t *testing.T) {
+	g := writingSegmentGraph(t)
+	_, dec, err := JashPlan(g, inputsOf(3<<30), cost.IOOptEC2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Width != 1 {
+		t.Errorf("decision = %+v, want sequential", dec)
+	}
+}
+
 func TestParallelizeWidthOne(t *testing.T) {
 	g := fig1Graph(t)
 	if _, err := Parallelize(g, Options{Width: 1}); err == nil {
