@@ -18,11 +18,14 @@ vet:
 race:
 	$(GO) test -race ./internal/exec/... ./internal/interp/...
 
-# The fault suite: injected failures, panics, and cancellations at every
-# plan position must tear down cleanly and fall back byte-identically.
+# The fault suite: injected failures, panics, stalls, and cancellations
+# at every plan position must tear down cleanly, heal via supervised
+# retries where safe, and fall back byte-identically; the seeded chaos
+# sweep runs the whole self-healing stack differentially.
 fault:
-	$(GO) test -race -count=2 -run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane' \
-		./internal/exec/... ./internal/core/...
+	$(GO) test -race -count=2 \
+		-run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane|Chaos|Retry|Stall|Journal|Quarantine|Trap|Degrad' \
+		./internal/exec/... ./internal/core/... ./internal/cluster/...
 
 # lint runs jashlint over the example scripts (warnings and errors fail
 # the build; suppressions are honored) plus go vet.

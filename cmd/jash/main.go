@@ -9,6 +9,7 @@
 //
 //	jash [-mode bash|pash|jash] [-profile laptop|standard|ioopt]
 //	     [-import host.txt=/vfs/path]... [-words /vfs/path=SIZE]
+//	     [-retries N] [-stall-timeout D] [-timeout D]
 //	     [-trace] [-stats] (-c 'script' | script.sh)
 package main
 
@@ -48,6 +49,8 @@ func run() int {
 		stats       = flag.Bool("stats", false, "print session statistics on exit")
 		increm      = flag.Bool("incremental", false, "memoize dataflow regions across re-runs")
 		timeout     = flag.Duration("timeout", 0, "bound the session; expiry tears running plans down and exits 124")
+		retries     = flag.Int("retries", 0, "per-node retry budget for effect-idempotent plan nodes")
+		stall       = flag.Duration("stall-timeout", 0, "abort optimized plans making no progress for this long")
 		interactive = flag.Bool("i", false, "interactive: read commands line by line with a prompt")
 		imports     multiFlag
 		words       multiFlag
@@ -125,6 +128,8 @@ func run() int {
 		sh.Interp.Stdout = os.Stdout
 		sh.Interp.Stderr = os.Stderr
 		sh.Ctx = ctx
+		sh.Retries = *retries
+		sh.StallTimeout = *stall
 		if *trace {
 			sh.Trace = os.Stderr
 		}
@@ -170,6 +175,8 @@ func run() int {
 	sh.Interp.Stdout = os.Stdout
 	sh.Interp.Stderr = os.Stderr
 	sh.Ctx = ctx
+	sh.Retries = *retries
+	sh.StallTimeout = *stall
 	if *trace {
 		sh.Trace = os.Stderr
 	}
@@ -189,6 +196,18 @@ func run() int {
 		if sh.Stats.HazardRejects > 0 {
 			fmt.Fprintf(os.Stderr, "jash: %d pipeline(s) hazard-rejected (file conflicts between concurrent stages)\n",
 				sh.Stats.HazardRejects)
+		}
+		if sh.Stats.Fallbacks > 0 {
+			fmt.Fprintf(os.Stderr, "jash: %d plan(s) fell back to the interpreter (journaled past any committed output)\n",
+				sh.Stats.Fallbacks)
+		}
+		if sh.Stats.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "jash: %d supervised node retry(ies) healed in place\n",
+				sh.Stats.Retries)
+		}
+		if sh.Stats.Quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "jash: %d execution(s) quarantined by the circuit breaker (interpreted)\n",
+				sh.Stats.Quarantined)
 		}
 		for _, d := range sh.Stats.Decisions {
 			fmt.Fprintf(os.Stderr, "  %-40s %-13s width=%d est=%.3fs\n",

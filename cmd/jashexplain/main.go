@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"jash/internal/analysis"
+	"jash/internal/cost"
 	"jash/internal/expand"
 	"jash/internal/spec"
 	"jash/internal/syntax"
@@ -100,6 +101,13 @@ func run() int {
 			if s := sum.String(); s != "pure" {
 				fmt.Printf("  effects: %s\n", s)
 			}
+			// Supervision consequence: the executor's effect-gated retry
+			// re-runs only nodes proven free of write effects.
+			if argvSum := analysis.SummarizeArgv(lib, fields); !argvSum.WritesAnything() {
+				fmt.Println("  supervision: effect-idempotent — a failed node may retry in place (-retries)")
+			} else {
+				fmt.Println("  supervision: has write effects — never retried; a failure fails the plan")
+			}
 		}
 		// Hazard preflight: pipeline stages run concurrently, so effect
 		// conflicts between them make the region uncompilable (and racy
@@ -113,6 +121,12 @@ func run() int {
 			} else {
 				fmt.Println("hazard preflight: clean — stages touch no conflicting files")
 			}
+		}
+		if len(stageSums) >= 1 {
+			fmt.Printf("self-healing: a failed plan falls back to the interpreter, journaled past any\n")
+			fmt.Printf("  committed output; a region failing %d times is quarantined (interpreted) with\n",
+				cost.BreakerThreshold)
+			fmt.Printf("  a half-open probe after %v — see `jash -stats`\n", cost.BreakerDecay)
 		}
 	}
 	return 0

@@ -25,6 +25,7 @@ import (
 	"jash/internal/cost"
 	"jash/internal/dfg"
 	"jash/internal/exec"
+	"jash/internal/exec/faultinject"
 	"jash/internal/spec"
 	"jash/internal/vfs"
 )
@@ -56,6 +57,10 @@ type Cluster struct {
 	Coordinator string
 	Net         Link
 	Lib         *spec.Library
+	// WorkerFaults, when non-nil, injects failures into the worker-side
+	// placement runs only (tests of graceful degradation); the
+	// coordinator's retries and merges run clean.
+	WorkerFaults *faultinject.Set
 }
 
 // New builds a cluster with n worker nodes ("node1".."nodeN") plus a
@@ -109,11 +114,19 @@ type Report struct {
 	TotalSecs   float64
 	// PerNode lists each worker's locally processed bytes.
 	PerNode map[string]int64
+	// DegradedStages counts worker placement stages that failed and were
+	// retried on the coordinator over the raw inputs — the job degrading
+	// toward RunCentral one stage at a time instead of failing outright.
+	DegradedStages int
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("%s: %.2fs total (%.2fs compute, %.2fs network), %d bytes moved",
+	s := fmt.Sprintf("%s: %.2fs total (%.2fs compute, %.2fs network), %d bytes moved",
 		r.Strategy, r.TotalSecs, r.ComputeSecs, r.NetworkSecs, r.BytesMoved)
+	if r.DegradedStages > 0 {
+		s += fmt.Sprintf(", %d stage(s) degraded to coordinator", r.DegradedStages)
+	}
+	return s
 }
 
 // RunCentral ships all raw inputs to the coordinator and runs the whole
@@ -228,23 +241,40 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 			return rep, err
 		}
 		var partial bytes.Buffer
-		if _, err := exec.Run(g, c.execEnv(node, &partial)); err != nil {
-			return rep, err
-		}
-		est, err := cost.EstimateGraph(g, c.inputsFor(node), node.Profile, true)
-		if err != nil {
-			return rep, err
-		}
-		if est.Seconds > maxNodeCompute {
-			maxNodeCompute = est.Seconds
-		}
-		var localBytes int64
-		for _, p := range byNode[nodeName] {
-			if fi, err := node.FS.Stat(p); err == nil {
-				localBytes += fi.Size
+		env := c.execEnv(node, &partial)
+		env.Faults = c.WorkerFaults
+		var nodeCompute float64
+		if _, err := exec.Run(g, env); err != nil {
+			// Graceful degradation: a worker stage that fails retries on
+			// the coordinator over the raw inputs — the job degrades
+			// toward RunCentral one stage at a time instead of dying.
+			moved, secs, derr := c.degradePrefix(nodeName, byNode[nodeName], prefix, &partial)
+			if derr != nil {
+				return rep, fmt.Errorf("cluster: %s failed and coordinator retry failed: %w", nodeName, derr)
 			}
+			rep.DegradedStages++
+			rep.BytesMoved += moved
+			if t := c.Net.TransferTime(moved); t > maxTransfer {
+				maxTransfer = t
+			}
+			nodeCompute = secs
+		} else {
+			est, err := cost.EstimateGraph(g, c.inputsFor(node), node.Profile, true)
+			if err != nil {
+				return rep, err
+			}
+			nodeCompute = est.Seconds
+			var localBytes int64
+			for _, p := range byNode[nodeName] {
+				if fi, err := node.FS.Stat(p); err == nil {
+					localBytes += fi.Size
+				}
+			}
+			rep.PerNode[nodeName] = localBytes
 		}
-		rep.PerNode[nodeName] = localBytes
+		if nodeCompute > maxNodeCompute {
+			maxNodeCompute = nodeCompute
+		}
 		// Ship the partial to the coordinator.
 		dest := fmt.Sprintf("/partial/%s.out", nodeName)
 		if err := coord.FS.WriteFile(dest, partial.Bytes()); err != nil {
@@ -277,6 +307,49 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 	rep.ComputeSecs = maxNodeCompute + est.Seconds
 	rep.TotalSecs = maxNodeCompute + rep.NetworkSecs + est.Seconds
 	return rep, nil
+}
+
+// degradePrefix re-runs a failed worker's prefix stage on the
+// coordinator: the node's raw inputs are shipped over (charged to the
+// network like RunCentral would), the same prefix pipeline runs on the
+// coordinator's profile, and the partial lands in out exactly as the
+// worker's would have. The retry runs clean — WorkerFaults models worker
+// failures, not coordinator ones.
+func (c *Cluster) degradePrefix(nodeName string, paths []string, prefix [][]string, out *bytes.Buffer) (int64, float64, error) {
+	node := c.Nodes[nodeName]
+	coord := c.Nodes[c.Coordinator]
+	var moved int64
+	local := make([]string, len(paths))
+	for i, p := range paths {
+		data, err := node.FS.ReadFile(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		lp := fmt.Sprintf("/degraded/%s/%d%s", nodeName, i, p)
+		if err := coord.FS.WriteFile(lp, data); err != nil {
+			return 0, 0, err
+		}
+		local[i] = lp
+		if nodeName != c.Coordinator {
+			moved += int64(len(data))
+		}
+	}
+	argvs := append([][]string{append([]string{"cat"}, local...)}, prefix...)
+	g, err := dfg.FromPipeline(argvs, c.Lib, dfg.Binding{})
+	if err != nil {
+		return 0, 0, err
+	}
+	// The failed worker run may have emitted partial output before dying;
+	// the retry replaces it wholesale.
+	out.Reset()
+	if _, err := exec.Run(g, c.execEnv(coord, out)); err != nil {
+		return 0, 0, err
+	}
+	est, err := cost.EstimateGraph(g, c.inputsFor(coord), coord.Profile, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return moved, est.Seconds, nil
 }
 
 // mergeGraph builds: partial sources -> merge(agg) -> suffix stages -> sink.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"jash/internal/cost"
+	"jash/internal/exec/faultinject"
 	"jash/internal/workload"
 )
 
@@ -179,5 +180,41 @@ func TestUnknownNodeErrors(t *testing.T) {
 	job := Job{Stages: sortWordsStages, Inputs: []Input{{"ghost", "/f"}}}
 	if _, err := c.RunCentral(job); err == nil {
 		t.Error("running over unknown node should fail")
+	}
+}
+
+// TestWorkerFailureDegradesToCoordinator injects a fault into the
+// worker-side prefix runs: placement must not fail the job — the broken
+// stage's raw inputs ship to the coordinator, which re-runs the prefix
+// clean, and the final output still matches the central strategy.
+func TestWorkerFailureDegradesToCoordinator(t *testing.T) {
+	c := testCluster(4)
+	job := wordJob(c, t, sortWordsStages)
+	central, err := c.RunCentral(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := testCluster(4)
+	job2 := wordJob(c2, t, sortWordsStages)
+	c2.WorkerFaults = faultinject.NewSet(faultinject.Rule{
+		Node: "tr", Op: faultinject.OpRead, Nth: 2,
+	})
+	placement, err := c2.RunPlacement(job2)
+	if err != nil {
+		t.Fatalf("placement did not degrade gracefully: %v", err)
+	}
+	if c2.WorkerFaults.Fired() == 0 {
+		t.Fatal("worker fault never fired")
+	}
+	if placement.DegradedStages == 0 {
+		t.Fatal("DegradedStages=0, want at least one degraded stage")
+	}
+	if !bytes.Equal(central.Output, placement.Output) {
+		t.Fatalf("degraded placement diverged:\ncentral  %.150q\ndegraded %.150q",
+			central.Output, placement.Output)
+	}
+	if !strings.Contains(placement.String(), "degraded to coordinator") {
+		t.Fatalf("report does not mention degradation: %s", placement.String())
 	}
 }

@@ -171,8 +171,10 @@ func TestTimeoutBoundsInterpretedPipeline(t *testing.T) {
 // TestIncrementalFallback: the memoizing runner buffers plan output and
 // discards it on failure, so even a fault that strikes after the sink has
 // received bytes is fallback-safe — nothing reached the session stdout.
-// The same fault on the direct (uncached) path has already leaked partial
-// output, so it must NOT fall back and must surface the error instead.
+// The same fault on the direct (uncached) path has leaked partial output,
+// so it takes the *journaled* mid-stream fallback: the interpreter re-runs
+// the region skipping the committed line-aligned prefix, and the session
+// output is still byte-identical.
 func TestIncrementalFallback(t *testing.T) {
 	// A streaming pipeline: tr emits as it reads (64 KiB batches), so the
 	// sink sees bytes long before the input is drained. The fault fires
@@ -202,21 +204,31 @@ func TestIncrementalFallback(t *testing.T) {
 		t.Errorf("st=%d (want %d), outputs equal=%v", st, wantSt, out.String() == want)
 	}
 
-	// Direct path, same fault: partial output escaped, so no fallback.
+	// Direct path, same fault: partial output escaped, so recovery goes
+	// through the journaled mid-stream fallback — byte-identical output,
+	// no duplicated or missing lines.
 	fs2 := vfs.New()
 	wordsFile(fs2, "/big", 80000)
-	d, _, errb := newShell(fs2, cost.IOOptEC2(), ModeJash)
+	d, out2, errb := newShell(fs2, cost.IOOptEC2(), ModeJash)
 	d.Faults = faultinject.NewSet(midOutput)
 	st2, err := d.Run(script)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Faults.Fired() > 0 {
-		if d.Stats.Fallbacks != 0 {
-			t.Errorf("direct path fell back after emitting output: %d", d.Stats.Fallbacks)
+		if d.Stats.Fallbacks != 1 {
+			t.Errorf("direct path fallbacks=%d, want 1 (journaled)", d.Stats.Fallbacks)
 		}
-		if st2 == 0 || !strings.Contains(errb.String(), "fault injected") {
-			t.Errorf("st=%d stderr=%q", st2, errb.String())
+		if st2 != wantSt {
+			t.Errorf("st=%d (want %d) stderr=%q", st2, wantSt, errb.String())
+		}
+		if out2.String() != want {
+			t.Errorf("journaled fallback output differs: got %d bytes, want %d",
+				out2.Len(), len(want))
+		}
+		if dec, ok := d.LastDecision(); !ok || dec.Strategy != "fallback-interpret" ||
+			!strings.Contains(dec.Reason, "mid-stream") {
+			t.Errorf("decision=%+v", dec)
 		}
 	}
 }

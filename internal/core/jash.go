@@ -93,14 +93,24 @@ type Stats struct {
 	VirtualSeconds float64
 	Optimized      int
 	Interpreted    int
-	// Fallbacks counts optimized plans that failed before emitting any
-	// output and were transparently re-run through the interpreter — the
-	// paper's no-regression rule extended to faults.
+	// Fallbacks counts optimized plans that failed and were transparently
+	// re-run through the interpreter — the paper's no-regression rule
+	// extended to faults. A plan that died before its first output byte
+	// re-runs from pristine state; one that died mid-stream re-runs
+	// against the sink's line-aligned journal, skipping the committed
+	// prefix.
 	Fallbacks int
 	// HazardRejects counts pipelines the static preflight refused to
 	// compile: their nodes would race on a file if run concurrently
 	// (write-write or read-after-write), so they interpret instead.
 	HazardRejects int
+	// Retries totals the executor's supervised node re-runs across the
+	// session's optimized executions.
+	Retries int
+	// Quarantined counts executions the JIT circuit breaker refused to
+	// compile: the region failed BreakerThreshold times, so it runs
+	// interpreted until a half-open probe re-admits it after BreakerDecay.
+	Quarantined int
 }
 
 // Shell is a Jash session.
@@ -125,8 +135,85 @@ type Shell struct {
 	// Faults, when non-nil, is forwarded to the executor's fault-injection
 	// harness (tests only).
 	Faults *faultinject.Set
+	// Retries is the executor's per-node retry budget for
+	// effect-idempotent nodes (`jash -retries`). Zero keeps the executor
+	// fail-fast.
+	Retries int
+	// StallTimeout arms the executor's stall watchdog
+	// (`jash -stall-timeout`); zero disables it.
+	StallTimeout time.Duration
+	// BreakerThreshold and BreakerDecay configure the JIT circuit
+	// breaker: a pipeline that fails BreakerThreshold times is quarantined
+	// (interpreted directly) until BreakerDecay has passed, after which
+	// one half-open probe may re-admit it. Zero values take the cost
+	// package defaults.
+	BreakerThreshold int
+	BreakerDecay     time.Duration
+	// breakers is the per-region failure ledger, keyed by pipeline text.
+	breakers map[string]*breakerState
+	// now is the breaker's clock; tests override it to step time.
+	now func() time.Time
 
 	Stats Stats
+}
+
+// breakerState is one region's entry in the circuit breaker's ledger.
+type breakerState struct {
+	failures  int
+	openUntil time.Time
+}
+
+func (s *Shell) breakerLimits() (int, time.Duration) {
+	k, decay := s.BreakerThreshold, s.BreakerDecay
+	if k <= 0 {
+		k = cost.BreakerThreshold
+	}
+	if decay <= 0 {
+		decay = cost.BreakerDecay
+	}
+	return k, decay
+}
+
+func (s *Shell) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
+// quarantined reports whether the breaker currently refuses to compile
+// the region. An open breaker whose decay interval has passed lets one
+// half-open probe through: success closes it, failure re-opens it.
+func (s *Shell) quarantined(region string) bool {
+	b := s.breakers[region]
+	k, _ := s.breakerLimits()
+	if b == nil || b.failures < k {
+		return false
+	}
+	return s.clock().Before(b.openUntil)
+}
+
+// breakerFailure records a plan defect (not an external cancellation)
+// against the region, opening the breaker at the threshold.
+func (s *Shell) breakerFailure(region string) {
+	if s.breakers == nil {
+		s.breakers = map[string]*breakerState{}
+	}
+	b := s.breakers[region]
+	if b == nil {
+		b = &breakerState{}
+		s.breakers[region] = b
+	}
+	b.failures++
+	if k, decay := s.breakerLimits(); b.failures >= k {
+		b.openUntil = s.clock().Add(decay)
+	}
+}
+
+// breakerSuccess closes the region's breaker: a clean run (including a
+// half-open probe) clears its failure history.
+func (s *Shell) breakerSuccess(region string) {
+	delete(s.breakers, region)
 }
 
 // EnableIncremental attaches a fresh incremental cache to the session.
@@ -162,8 +249,10 @@ func (s *Shell) Run(src string) (int, error) {
 	status := 0
 	for rest != "" {
 		// A session deadline that expired between commands stops the
-		// script with the timeout convention's status.
+		// script with the timeout convention's status, after giving the
+		// script's INT/TERM/EXIT handlers their last word.
 		if s.Ctx != nil && s.Ctx.Err() != nil {
+			s.runDeadlineTraps()
 			return 124, s.Ctx.Err()
 		}
 		stmts, n, err := syntax.ParseCommand(rest)
@@ -182,8 +271,10 @@ func (s *Shell) Run(src string) (int, error) {
 			return status, err
 		}
 		// A deadline that expired while the command ran (its compute
-		// loops unwound via Interp.Cancel) also reports the timeout.
+		// loops unwound via Interp.Cancel) also reports the timeout —
+		// again running pending INT/TERM/EXIT traps first.
 		if s.Ctx != nil && s.Ctx.Err() != nil {
+			s.runDeadlineTraps()
 			return 124, s.Ctx.Err()
 		}
 		if s.Interp.Exited {
@@ -197,6 +288,18 @@ func (s *Shell) Run(src string) (int, error) {
 		status = s.Interp.Status
 	}
 	return status, nil
+}
+
+// runDeadlineTraps fires pending INT/TERM/EXIT trap actions before the
+// session exits on the timeout convention. The bodies run interpreted
+// and unbounded: the deadline has already expired, and re-entering the
+// JIT (or honouring the dead cancel channel) would kill the very
+// handlers the user installed for this moment.
+func (s *Shell) runDeadlineTraps() {
+	savedObs, savedCancel := s.Interp.Observer, s.Interp.Cancel
+	s.Interp.Observer, s.Interp.Cancel = nil, nil
+	s.Interp.RunPendingTraps("INT", "TERM", "EXIT")
+	s.Interp.Observer, s.Interp.Cancel = savedObs, savedCancel
 }
 
 // observe is the interposition hook: the interpreter offers every
@@ -238,6 +341,18 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		s.Stats.HazardRejects++
 		s.record(Decision{Pipeline: text, Strategy: "hazard-reject",
 			Reason: hz[0].String()})
+		return 0, false
+	}
+	// JIT circuit breaker: a region that keeps failing at runtime is not
+	// re-compiled forever — after BreakerThreshold failures it is
+	// quarantined to the interpreter until the decay interval admits a
+	// half-open probe.
+	if s.quarantined(text) {
+		_, decay := s.breakerLimits()
+		s.Stats.Interpreted++
+		s.Stats.Quarantined++
+		s.record(Decision{Pipeline: text, Strategy: "quarantine",
+			Reason: fmt.Sprintf("region failed %d times; interpreting (half-open probe after %v)", s.breakers[text].failures, decay)})
 		return 0, false
 	}
 	var chosen *dfg.Graph
@@ -284,14 +399,17 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	// cache when one is attached.
 	metrics := &exec.RunMetrics{}
 	env := &exec.Env{
-		FS:      s.FS,
-		Dir:     in.Dir,
-		Stdin:   in.Stdin,
-		Stdout:  in.Stdout,
-		Stderr:  in.Stderr,
-		Getenv:  in.Getenv,
-		Metrics: metrics,
-		Faults:  s.Faults,
+		FS:           s.FS,
+		Dir:          in.Dir,
+		Stdin:        in.Stdin,
+		Stdout:       in.Stdout,
+		Stderr:       in.Stderr,
+		Getenv:       in.Getenv,
+		Metrics:      metrics,
+		Faults:       s.Faults,
+		Lib:          s.Lib,
+		Retries:      s.Retries,
+		StallTimeout: s.StallTimeout,
 	}
 	ctx := s.Ctx
 	if ctx == nil {
@@ -312,14 +430,17 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	if len(s.Stats.Decisions) > 0 {
 		s.Stats.Decisions[len(s.Stats.Decisions)-1].Nodes = metrics.Nodes
 	}
+	s.Stats.Retries += metrics.Retries
 	if runErr != nil {
 		// External cancellation is a user-imposed bound, not a plan defect:
 		// surface it (timeout convention, status 124) instead of re-running
 		// the region — a fallback would evade the user's deadline. No
-		// diagnostic here: Run's deadline check reports it once.
+		// diagnostic here: Run's deadline check reports it once. The
+		// breaker ignores it too.
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 			return 124, true
 		}
+		s.breakerFailure(text)
 		// Fallback-before-first-byte: if the failed plan emitted nothing,
 		// the interpreter can re-run the pipeline from pristine state —
 		// the paper's no-regression rule extended to faults. Analyze
@@ -337,11 +458,119 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 			}
 			return 0, false
 		}
-		// Partial output already escaped: a re-run would duplicate it.
-		fmt.Fprintf(in.Stderr, "jash: %v\n", runErr)
-		return 1, true
+		// Journaled mid-stream fallback: the sink committed a line-aligned
+		// prefix (SinkBytes is its exact length), so the interpreter can
+		// re-run the pipeline and skip the committed bytes instead of
+		// giving up — no duplicated and no missing lines.
+		s.Stats.Fallbacks++
+		if len(s.Stats.Decisions) > 0 {
+			d := &s.Stats.Decisions[len(s.Stats.Decisions)-1]
+			d.Strategy = "fallback-interpret"
+			d.Reason = fmt.Sprintf("plan failed mid-stream (%v) after %d committed bytes; journaled re-run via interpreter", runErr, metrics.SinkBytes)
+		}
+		if s.Trace != nil {
+			fmt.Fprintf(s.Trace, "jash[%s]: plan failed mid-stream (%v); journaled fallback skipping %d bytes\n", s.Mode, runErr, metrics.SinkBytes)
+		}
+		return s.replayJournaled(in, st, chosen, metrics.SinkBytes)
+	}
+	s.breakerSuccess(text)
+	return status, true
+}
+
+// skipWriter discards the first skip bytes it is handed and passes the
+// rest through — the replay side of the sink's line-aligned journal.
+type skipWriter struct {
+	w    io.Writer
+	skip int64
+}
+
+func (sw *skipWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	if sw.skip > 0 {
+		if int64(total) <= sw.skip {
+			sw.skip -= int64(total)
+			return total, nil
+		}
+		p = p[sw.skip:]
+		sw.skip = 0
+	}
+	if _, err := sw.w.Write(p); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// replayJournaled re-runs the failed region through the interpreter,
+// skipping the sink's committed prefix. A stdout-bound region replays
+// onto the session stdout behind a skipWriter; a file-bound region is
+// replayed with its stdout redirection stripped and the surviving output
+// appended to the partially committed file (truncate already happened on
+// the first run, so append is correct for both > and >>).
+func (s *Shell) replayJournaled(in *interp.Interp, st *syntax.Stmt, g *dfg.Graph, committed int64) (int, bool) {
+	// The replay must interpret: re-entering the observer would
+	// re-optimize (and likely re-fail) the same region.
+	savedObs, savedOut := in.Observer, in.Stdout
+	in.Observer = nil
+	defer func() { in.Observer, in.Stdout = savedObs, savedOut }()
+	stmt := st
+	var fileOut io.WriteCloser
+	if sink := g.Sink(); sink != nil && sink.Path != "" {
+		w, err := s.FS.Append(sink.Path)
+		if err != nil {
+			fmt.Fprintf(in.Stderr, "jash: fallback: %v\n", err)
+			return 1, true
+		}
+		fileOut = w
+		in.Stdout = &skipWriter{w: w, skip: committed}
+		stmt = stripStdoutRedir(st)
+	} else {
+		dst := savedOut
+		if dst == nil {
+			dst = io.Discard
+		}
+		in.Stdout = &skipWriter{w: dst, skip: committed}
+	}
+	status, err := in.RunStmts([]*syntax.Stmt{stmt})
+	if fileOut != nil {
+		if cerr := fileOut.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(in.Stderr, "jash: fallback: %v\n", err)
+		if status == 0 {
+			status = 1
+		}
 	}
 	return status, true
+}
+
+// stripStdoutRedir clones the statement with the last pipeline stage's
+// stdout redirection removed, so a journaled replay can route output
+// through the shell instead of re-truncating the destination.
+func stripStdoutRedir(st *syntax.Stmt) *syntax.Stmt {
+	stCopy := *st
+	ao := *st.AndOr
+	pl := *ao.First
+	cmds := append([]syntax.Command(nil), pl.Cmds...)
+	last, ok := cmds[len(cmds)-1].(*syntax.SimpleCommand)
+	if !ok {
+		return st
+	}
+	lc := *last
+	var keep []*syntax.Redirect
+	for _, r := range lc.Redirections {
+		if (r.Op == syntax.RedirOut || r.Op == syntax.RedirAppend) && r.DefaultFD() == 1 {
+			continue
+		}
+		keep = append(keep, r)
+	}
+	lc.Redirections = keep
+	cmds[len(cmds)-1] = &lc
+	pl.Cmds = cmds
+	ao.First = &pl
+	stCopy.AndOr = &ao
+	return &stCopy
 }
 
 func (s *Shell) record(d Decision) {

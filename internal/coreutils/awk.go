@@ -86,7 +86,7 @@ func awkCmd(c *Context, args []string) int {
 			}
 		}
 	}
-	lineErr := forEachLine(concatReaders(rs), func(line []byte) error {
+	lineErr := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		env.setRecord(string(line))
 		env.vars["NR"] = awkNum(float64(env.nr + 1))
 		env.nr++

@@ -49,6 +49,29 @@ func (c *Context) Cancelled() bool {
 	}
 }
 
+// cancelPollLines is how many lines a streaming loop processes between
+// Cancel polls: frequent enough that a torn-down plan stops a
+// compute-heavy filter promptly, rare enough to stay off the hot path.
+const cancelPollLines = 1024
+
+// forEachLine is the cancel-aware line iterator every streaming utility
+// loop uses: it behaves like the package-level forEachLine but polls
+// Cancel periodically, stopping early (silently, like a consumer hangup)
+// when the surrounding plan has been torn down.
+func (c *Context) forEachLine(r io.Reader, fn func(line []byte) error) error {
+	if c.Cancel == nil {
+		return forEachLine(r, fn)
+	}
+	n := 0
+	return forEachLine(r, func(line []byte) error {
+		n++
+		if n%cancelPollLines == 0 && c.Cancelled() {
+			return io.EOF
+		}
+		return fn(line)
+	})
+}
+
 // Lookup resolves a possibly-relative path against the working directory.
 func (c *Context) Lookup(p string) string {
 	if path.IsAbs(p) {

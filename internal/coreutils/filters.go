@@ -73,7 +73,7 @@ func grepCmd(c *Context, args []string) int {
 	lw := newLineWriter(c.Stdout)
 	var count, lineNo int64
 	matched := false
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		lineNo++
 		m := matchLine(line)
 		if m == invert {
@@ -279,6 +279,10 @@ func trCmd(c *Context, args []string) int {
 	buf := make([]byte, 64<<10)
 	outBuf := make([]byte, 0, 64<<10)
 	for {
+		// tr streams chunks, not lines, so it polls cancellation per chunk.
+		if c.Cancelled() {
+			break
+		}
 		n, e := in.Read(buf)
 		outBuf = outBuf[:0]
 		for _, b := range buf[:n] {
@@ -369,7 +373,7 @@ func cutCmd(c *Context, args []string) int {
 		if err != nil {
 			return c.Errorf(2, "cut: %v", err)
 		}
-		e := forEachLine(concatReaders(rs), func(line []byte) error {
+		e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 			var out []byte
 			for _, r := range ranges {
 				lo, hi := r.lo-1, r.hi
@@ -396,7 +400,7 @@ func cutCmd(c *Context, args []string) int {
 		if v, ok := flags['d']; ok && v != "" {
 			delim = v[:1]
 		}
-		e := forEachLine(concatReaders(rs), func(line []byte) error {
+		e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 			s := string(line)
 			if !strings.Contains(s, delim) {
 				// Lines without the delimiter pass through unchanged.
@@ -544,7 +548,7 @@ func sortCmd(c *Context, args []string) int {
 		var prev string
 		first := true
 		bad := false
-		e := forEachLine(concatReaders(rs), func(line []byte) error {
+		e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 			s := string(line)
 			if !first && cfg.less(s, prev) {
 				bad = true
@@ -630,7 +634,14 @@ func mergeSorted(c *Context, rs []io.Reader, cfg sortConfig, lw *lineWriter) int
 	}
 	var prev string
 	first := true
+	polled := 0
 	for {
+		// The k-way merge pulls one line per iteration and can run far
+		// from any pipe operation on buffered lanes; poll periodically.
+		polled++
+		if polled%cancelPollLines == 0 && c.Cancelled() {
+			return 0
+		}
 		best := -1
 		for i, cu := range cursors {
 			if cu.done {
@@ -711,7 +722,7 @@ func uniqCmd(c *Context, args []string) int {
 			lw.WriteLine(cur)
 		}
 	}
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		if count > 0 && bytes.Equal(line, cur) {
 			count++
 			return nil
@@ -872,7 +883,7 @@ func splitCmd(c *Context, args []string) int {
 	piece := 0
 	var cur io.WriteCloser
 	lines := 0
-	e := forEachLine(in, func(line []byte) error {
+	e := c.forEachLine(in, func(line []byte) error {
 		if cur == nil {
 			var err error
 			cur, err = c.FS.Create(c.Lookup(prefix + suffix(piece)))
@@ -924,7 +935,7 @@ func xargsCmd(c *Context, args []string) int {
 		return c.Errorf(127, "xargs: %s: command not found", cmdv[0])
 	}
 	var items []string
-	e := forEachLine(c.Stdin, func(line []byte) error {
+	e := c.forEachLine(c.Stdin, func(line []byte) error {
 		items = append(items, splitFields(string(line))...)
 		return nil
 	})

@@ -40,7 +40,7 @@ func catCmd(c *Context, args []string) int {
 		lw := newLineWriter(c.Stdout)
 		n := 0
 		for _, r := range rs {
-			e := forEachLine(r, func(line []byte) error {
+			e := c.forEachLine(r, func(line []byte) error {
 				n++
 				lw.WriteString(fmt.Sprintf("%6d\t", n))
 				lw.WriteLine(line)
@@ -88,7 +88,7 @@ func headCmd(c *Context, args []string) int {
 	}
 	lw := newLineWriter(c.Stdout)
 	var seen int64
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		if seen >= n {
 			return io.EOF
 		}
@@ -122,7 +122,7 @@ func tailCmd(c *Context, args []string) int {
 		}
 	}
 	keep := &lastN{n: n}
-	if e := forEachLine(concatReaders(rs), func(line []byte) error {
+	if e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		keep.add(line)
 		return nil
 	}); e != nil {
@@ -359,7 +359,7 @@ func revCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		rev := make([]byte, len(line))
 		for i, b := range line {
 			rev[len(line)-1-i] = b
@@ -392,7 +392,7 @@ func foldCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		for len(line) > width {
 			lw.WriteLine(line[:width])
 			line = line[width:]
@@ -419,7 +419,7 @@ func nlCmd(c *Context, args []string) int {
 	}
 	lw := newLineWriter(c.Stdout)
 	n := 0
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		if len(line) == 0 {
 			lw.WriteLine([]byte("      \t"))
 			return nil

@@ -51,7 +51,7 @@ func expandCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		var b strings.Builder
 		col := 0
 		for _, ch := range line {
@@ -92,7 +92,7 @@ func unexpandCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		spaces := 0
 		for spaces < len(line) && line[spaces] == ' ' {
 			spaces++
@@ -124,7 +124,7 @@ func tsortCmd(c *Context, args []string) int {
 		return st
 	}
 	var tokens []string
-	e := forEachLine(concatReaders(rs), func(line []byte) error {
+	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		tokens = append(tokens, splitFields(string(line))...)
 		return nil
 	})

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"jash/internal/dfg"
 	"jash/internal/spec"
@@ -45,6 +46,28 @@ const (
 	// splitter uses when the input volume is unknown (terminal stdin):
 	// lanes 0..n-2 receive this much each and the last lane the rest.
 	SplitLaneFallbackBytes = 1 << 20
+)
+
+// Self-healing executor knobs. The supervisor (package exec) and the JIT
+// circuit breaker (package core) share this block so `jash -stats` can
+// explain retry and quarantine behaviour in the model's own terms.
+const (
+	// RetryBackoffBase is the first retry's backoff; each further attempt
+	// doubles it (with jitter) up to RetryBackoffMax. The cap is kept well
+	// under any plausible -stall-timeout so a backing-off node is never
+	// mistaken for a stalled one.
+	RetryBackoffBase = 1 * time.Millisecond
+	RetryBackoffMax  = 20 * time.Millisecond
+	// StallPollDivisor sets how often the watchdog samples progress
+	// counters: stall-timeout / divisor per sample, so a stall is detected
+	// within (1 + 1/divisor) × the configured timeout.
+	StallPollDivisor = 4
+	// BreakerThreshold is the default number of consecutive plan failures
+	// after which the JIT quarantines a region (interprets it directly).
+	BreakerThreshold = 3
+	// BreakerDecay is the default quarantine duration; after it elapses
+	// one half-open probe compilation is allowed through.
+	BreakerDecay = 30 * time.Second
 )
 
 // Profile describes the machine a plan would run on.

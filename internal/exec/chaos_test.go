@@ -1,0 +1,310 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"jash/internal/dfg"
+	"jash/internal/exec/faultinject"
+	"jash/internal/rewrite"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// runSupervised is runWithFaults plus the self-healing knobs: a spec
+// library (so commands can be proven effect-idempotent), a retry budget,
+// and a stall watchdog. The 30s guard catches supervision deadlocks.
+func runSupervised(t *testing.T, g *dfg.Graph, fs *vfs.FS, set *faultinject.Set,
+	retries int, stall time.Duration) (string, int, error, *RunMetrics) {
+	t.Helper()
+	metrics := &RunMetrics{}
+	var out, errs bytes.Buffer
+	type result struct {
+		st  int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := Run(g, &Env{
+			FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+			Stdout: &out, Stderr: &errs, Metrics: metrics, Faults: set,
+			Lib: lib, Retries: retries, StallTimeout: stall,
+		})
+		done <- result{st, err}
+	}()
+	select {
+	case r := <-done:
+		return out.String(), r.st, r.err, metrics
+	case <-time.After(30 * time.Second):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("plan deadlocked under supervision\n%s", buf[:n])
+		return "", 0, nil, nil
+	}
+}
+
+// TestChaosDifferential is the acceptance sweep: seeded random fault
+// injection (errors, panics, stalls) over the fig1 plan at widths 1 and
+// 4. Every run must either succeed with output byte-identical to the
+// fault-free reference, or fail having committed exactly a line-aligned
+// prefix of it (the journal invariant) — and never leak a goroutine.
+func TestChaosDifferential(t *testing.T) {
+	refG, refFS := fig1Graph(t)
+	want, _ := runGraph(t, refG, refFS, "")
+
+	configs := []faultinject.ChaosConfig{
+		{PFail: 0.004},
+		{PPanic: 0.002},
+		{PStall: 0.002},
+		{PFail: 0.002, PPanic: 0.001, PStall: 0.001},
+	}
+	for _, width := range []int{1, 4} {
+		for ci, cfg := range configs {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := cfg
+				cfg.Seed = seed
+				name := fmt.Sprintf("w%d-cfg%d-seed%d", width, ci, seed)
+				t.Run(name, func(t *testing.T) {
+					g, fs := fig1Graph(t)
+					if width > 1 {
+						rewrite.Parallelize(g, rewrite.Options{Width: width})
+					}
+					before := runtime.NumGoroutine()
+					set := faultinject.NewChaos(cfg)
+					out, st, err, m := runSupervised(t, g, fs, set, 2, 400*time.Millisecond)
+					checkNoLeaks(t, before)
+					if err == nil {
+						if st != 0 || out != want {
+							t.Fatalf("healed run diverged: st=%d len(out)=%d len(want)=%d",
+								st, len(out), len(want))
+						}
+						return
+					}
+					// Failed run: the journal guarantees the committed
+					// output is a line-aligned prefix of the reference.
+					if int64(len(out)) != m.SinkBytes {
+						t.Fatalf("out=%d bytes but SinkBytes=%d", len(out), m.SinkBytes)
+					}
+					if !strings.HasPrefix(want, out) {
+						t.Fatalf("committed output is not a prefix of the reference (%d bytes)", len(out))
+					}
+					if len(out) > 0 && out[len(out)-1] != '\n' {
+						t.Fatalf("committed output not line-aligned: ends %q", out[len(out)-1])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRetryHealsFirstRead arms a one-shot read fault on tr's first read;
+// with a retry budget the supervisor must re-run the node in place and
+// the plan must finish byte-identical, counting the retry.
+func TestRetryHealsFirstRead(t *testing.T) {
+	refG, refFS := fig1Graph(t)
+	want, _ := runGraph(t, refG, refFS, "")
+
+	g, fs := fig1Graph(t)
+	set := faultinject.NewSet(faultinject.Rule{Node: "tr", Op: faultinject.OpRead, Nth: 1})
+	before := runtime.NumGoroutine()
+	out, st, err, m := runSupervised(t, g, fs, set, 1, 0)
+	checkNoLeaks(t, before)
+	if err != nil || st != 0 {
+		t.Fatalf("retry did not heal: st=%d err=%v", st, err)
+	}
+	if out != want {
+		t.Fatalf("healed output diverged: %d vs %d bytes", len(out), len(want))
+	}
+	if m.Retries < 1 {
+		t.Fatalf("Retries=%d, want >=1", m.Retries)
+	}
+	if set.Fired() != 1 {
+		t.Fatalf("Fired=%d, want 1", set.Fired())
+	}
+}
+
+// TestRetryHealsPanic does the same for a panicking node: the per-attempt
+// recover must contain the panic and the retry must heal it.
+func TestRetryHealsPanic(t *testing.T) {
+	refG, refFS := fig1Graph(t)
+	want, _ := runGraph(t, refG, refFS, "")
+
+	g, fs := fig1Graph(t)
+	set := faultinject.NewSet(faultinject.Rule{
+		Node: "sort", Op: faultinject.OpRead, Nth: 1, Mode: faultinject.ModePanic,
+	})
+	before := runtime.NumGoroutine()
+	out, st, err, m := runSupervised(t, g, fs, set, 1, 0)
+	checkNoLeaks(t, before)
+	if err != nil || st != 0 || out != want {
+		t.Fatalf("panic retry did not heal: st=%d err=%v identical=%v", st, err, out == want)
+	}
+	if m.Retries < 1 {
+		t.Fatalf("Retries=%d, want >=1", m.Retries)
+	}
+}
+
+// TestRetryHealsSourceReopen: a source with a Path re-opens its file on
+// retry, so a fault on its first read (before any bytes left the node)
+// heals in place. A later fault would find bytes already downstream and
+// be refused — replaying them would duplicate output.
+func TestRetryHealsSourceReopen(t *testing.T) {
+	refG, refFS := fig1Graph(t)
+	want, _ := runGraph(t, refG, refFS, "")
+
+	g, fs := fig1Graph(t)
+	set := faultinject.NewSet(faultinject.Rule{Node: "src:", Op: faultinject.OpRead, Nth: 1})
+	before := runtime.NumGoroutine()
+	out, st, err, m := runSupervised(t, g, fs, set, 1, 0)
+	checkNoLeaks(t, before)
+	if err != nil || st != 0 || out != want {
+		t.Fatalf("source retry did not heal: st=%d err=%v identical=%v", st, err, out == want)
+	}
+	if m.Retries < 1 {
+		t.Fatalf("Retries=%d, want >=1", m.Retries)
+	}
+}
+
+// TestRetryRefusedAfterConsumedInput: a command node that already pulled
+// bytes from its one-shot input pipe cannot be replayed; the supervisor
+// must refuse the retry and fail the plan rather than corrupt the stream.
+func TestRetryRefusedAfterConsumedInput(t *testing.T) {
+	g, fs := fig1Graph(t)
+	set := faultinject.NewSet(faultinject.Rule{Node: "tr", Op: faultinject.OpRead, Nth: 5})
+	before := runtime.NumGoroutine()
+	_, _, err, m := runSupervised(t, g, fs, set, 3, 0)
+	checkNoLeaks(t, before)
+	if err == nil {
+		t.Fatal("plan succeeded; want refusal to replay consumed input")
+	}
+	if m.Retries != 0 {
+		t.Fatalf("Retries=%d, want 0 (node had consumed input)", m.Retries)
+	}
+}
+
+// TestRetryRequiresEffectProof: without a spec library the supervisor
+// cannot prove a command free of write effects, so no retry is attempted
+// even with budget to spare.
+func TestRetryRequiresEffectProof(t *testing.T) {
+	g, fs := fig1Graph(t)
+	set := faultinject.NewSet(faultinject.Rule{Node: "tr", Op: faultinject.OpRead, Nth: 1})
+	metrics := &RunMetrics{}
+	var out bytes.Buffer
+	_, err := Run(g, &Env{
+		FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+		Stdout: &out, Stderr: &out, Metrics: metrics, Faults: set,
+		Lib: nil, Retries: 3,
+	})
+	if err == nil {
+		t.Fatal("plan succeeded; want failure (no effect proof, no retry)")
+	}
+	if metrics.Retries != 0 {
+		t.Fatalf("Retries=%d, want 0 without a spec library", metrics.Retries)
+	}
+}
+
+// TestStallWatchdog arms a stall (an operation that hangs forever) and
+// checks the watchdog tears the plan down with ErrStalled instead of
+// hanging the shell.
+func TestStallWatchdog(t *testing.T) {
+	g, fs := fig1Graph(t)
+	set := faultinject.NewSet(faultinject.Rule{
+		Node: "sort", Op: faultinject.OpRead, Nth: 2, Mode: faultinject.ModeStall,
+	})
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	_, _, err, _ := runSupervised(t, g, fs, set, 0, 200*time.Millisecond)
+	checkNoLeaks(t, before)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err=%v, want ErrStalled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+}
+
+// TestStallWatchdogQuietOnHealthyPlan: a generous watchdog must never
+// fire on a plan that is making progress.
+func TestStallWatchdogQuietOnHealthyPlan(t *testing.T) {
+	refG, refFS := fig1Graph(t)
+	want, _ := runGraph(t, refG, refFS, "")
+	g, fs := fig1Graph(t)
+	out, st, err, _ := runSupervised(t, g, fs, nil, 0, 5*time.Second)
+	if err != nil || st != 0 || out != want {
+		t.Fatalf("healthy plan disturbed: st=%d err=%v identical=%v", st, err, out == want)
+	}
+}
+
+// TestJournalLineAlignedCommit fails a plan mid-stream while it writes a
+// file sink and checks the journal invariant: the sink holds exactly
+// SinkBytes bytes, they end on a line boundary, and they are a prefix of
+// the fault-free output.
+func TestJournalLineAlignedCommit(t *testing.T) {
+	mk := func() (*dfg.Graph, *vfs.FS) {
+		fs := vfs.New()
+		fs.WriteFile("/in", workload.Words(7, 1<<20))
+		g := pipelineGraph(t, dfg.Binding{StdinFile: "/in", StdoutFile: "/out"},
+			[]string{"cat"},
+			[]string{"tr", "A-Z", "a-z"},
+		)
+		return g, fs
+	}
+	refG, refFS := mk()
+	if _, st := runGraph(t, refG, refFS, ""); st != 0 {
+		t.Fatalf("reference st=%d", st)
+	}
+	want, err := refFS.ReadFile("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, fs := mk()
+	set := faultinject.NewSet(faultinject.Rule{Node: "tr", Op: faultinject.OpWrite, Nth: 8})
+	_, _, runErr, m := runSupervised(t, g, fs, set, 0, 0)
+	if runErr == nil {
+		t.Fatal("plan succeeded; want mid-stream failure")
+	}
+	got, err := fs.ReadFile("/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SinkBytes == 0 {
+		t.Fatal("SinkBytes=0; fault was meant to land mid-stream")
+	}
+	if int64(len(got)) != m.SinkBytes {
+		t.Fatalf("sink holds %d bytes but SinkBytes=%d", len(got), m.SinkBytes)
+	}
+	if got[len(got)-1] != '\n' {
+		t.Fatalf("committed sink not line-aligned: ends %q", got[len(got)-1])
+	}
+	if !bytes.HasPrefix(want, got) {
+		t.Fatal("committed sink is not a prefix of the fault-free output")
+	}
+}
+
+// TestJournalWriterHoldsPartialLine unit-tests the line journal: bytes
+// after the last newline stay held back until flush.
+func TestJournalWriterHoldsPartialLine(t *testing.T) {
+	var dst bytes.Buffer
+	jw := &journalWriter{w: &dst}
+	for _, chunk := range []string{"ab", "c\nde", "f\ng"} {
+		n, err := jw.Write([]byte(chunk))
+		if err != nil || n != len(chunk) {
+			t.Fatalf("Write(%q)=%d,%v", chunk, n, err)
+		}
+	}
+	if dst.String() != "abc\ndef\n" {
+		t.Fatalf("committed %q before flush", dst.String())
+	}
+	if err := jw.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.String() != "abc\ndef\ng" {
+		t.Fatalf("after flush: %q", dst.String())
+	}
+}

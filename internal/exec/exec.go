@@ -24,12 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"jash/internal/analysis"
 	"jash/internal/coreutils"
 	"jash/internal/cost"
 	"jash/internal/dfg"
@@ -54,6 +56,18 @@ type Env struct {
 	// into node operations (see internal/exec/faultinject). Tests only;
 	// production runs leave it nil.
 	Faults *faultinject.Set
+	// Lib, when non-nil, lets the per-node supervisor consult effect
+	// summaries (internal/analysis): only command nodes proven free of
+	// write/create/remove effects are eligible for retry.
+	Lib *spec.Library
+	// Retries is the per-node retry budget. When positive, a failed
+	// attempt of an effect-idempotent node with replayable inputs is
+	// re-run (with jittered backoff) instead of failing the plan.
+	Retries int
+	// StallTimeout, when positive, arms the stall watchdog: a plan whose
+	// progress counters stop advancing for this long is aborted,
+	// converting hangs into ordinary recoverable plan errors.
+	StallTimeout time.Duration
 
 	// tmpDir is the per-run scratch directory, set by Run.
 	tmpDir string
@@ -149,18 +163,19 @@ func (gw *gatedWriter) Write(p []byte) (int, error) {
 }
 
 // faultReader interposes the fault-injection harness on a node's reads;
-// an injected error aborts the plan (panics unwind to the node's
+// an injected error is reported to the node's supervisor, which either
+// schedules a retry or aborts the plan (panics unwind to the node's
 // containment handler instead).
 type faultReader struct {
 	r     io.Reader
-	rs    *runState
+	sup   *nodeSup
 	set   *faultinject.Set
 	label string
 }
 
 func (f *faultReader) Read(p []byte) (int, error) {
 	if err := f.set.Check(f.label, faultinject.OpRead); err != nil {
-		f.rs.abort(err)
+		f.sup.noteFault(err)
 		return 0, err
 	}
 	return f.r.Read(p)
@@ -169,17 +184,241 @@ func (f *faultReader) Read(p []byte) (int, error) {
 // faultWriter is faultReader's write-side twin.
 type faultWriter struct {
 	w     io.Writer
-	rs    *runState
+	sup   *nodeSup
 	set   *faultinject.Set
 	label string
 }
 
 func (f *faultWriter) Write(p []byte) (int, error) {
 	if err := f.set.Check(f.label, faultinject.OpWrite); err != nil {
-		f.rs.abort(err)
+		f.sup.noteFault(err)
 		return 0, err
 	}
 	return f.w.Write(p)
+}
+
+// ErrStalled is the failure the stall watchdog delivers when a plan's
+// progress counters stop advancing for Env.StallTimeout: a hang becomes
+// an ordinary plan error the caller can recover from (fall back, retry
+// the region interpreted) instead of a wedged shell.
+var ErrStalled = errors.New("plan stalled")
+
+// nodeSup supervises one node's execution: it collects the attempt's
+// first fault (injected error, open failure, side-input failure, panic)
+// and decides between re-running the node and failing the plan. The
+// retry gate is deliberately conservative — all four must hold:
+//
+//   - the node is effect-idempotent: sources with a file path (replayable
+//     by re-opening), splits and merges (pure stream shufflers), and
+//     command nodes whose effect summary (internal/analysis) proves no
+//     write/create/remove effects; sinks own the output journal and are
+//     never re-run;
+//   - no output byte escaped downstream (ctr.out == 0), so a re-run
+//     cannot duplicate data;
+//   - its inputs are replayable: a file source re-opens per attempt,
+//     every other kind must not have consumed any input (ctr.in == 0) —
+//     the bounded pipes are single-shot streams;
+//   - budget remains and the plan is still alive.
+//
+// When the gate fails the supervisor aborts the plan at the moment the
+// fault is recorded (noteFault), preserving the fail-fast teardown
+// behaviour of a zero-retry run exactly.
+type nodeSup struct {
+	rs       *runState
+	ctr      *nodeCounters
+	nodeID   int
+	label    string
+	replayIn bool // file source: inputs replay by re-opening
+	eligible bool // static effect/structure gate
+	budget   int  // attempts remaining beyond the first
+
+	mu       sync.Mutex
+	fault    error
+	panicked bool
+
+	retries int // completed re-runs, reported via NodeMetrics.Retries
+}
+
+// retryEligible is the static half of the retry gate (see nodeSup).
+func retryEligible(n *dfg.Node, lib *spec.Library) bool {
+	switch n.Kind {
+	case dfg.KindSource:
+		return n.Path != "" // live stdin does not replay
+	case dfg.KindSplit, dfg.KindMerge:
+		return true
+	case dfg.KindCommand:
+		return lib != nil && !analysis.SummarizeArgv(lib, n.Argv).WritesAnything()
+	}
+	return false
+}
+
+// noteFault records the attempt's first fault and, when the retry gate
+// already fails, aborts the plan immediately — collateral damage control
+// (gated stderr, broken pipes) must not wait for the node to unwind.
+func (sup *nodeSup) noteFault(err error) {
+	if err == nil {
+		return
+	}
+	sup.mu.Lock()
+	if sup.fault == nil {
+		sup.fault = err
+	}
+	first := sup.fault
+	sup.mu.Unlock()
+	if !sup.canRetryNow() {
+		sup.rs.abort(first)
+	}
+}
+
+// canRetryNow is the dynamic half of the retry gate, evaluated when a
+// fault is recorded and again after the attempt unwinds (a node may
+// still move bytes between its fault and its return).
+func (sup *nodeSup) canRetryNow() bool {
+	if !sup.eligible || sup.budget <= 0 || sup.rs.isAborted() {
+		return false
+	}
+	if sup.ctr.out.Load() > 0 {
+		return false
+	}
+	if !sup.replayIn && sup.ctr.in.Load() > 0 {
+		return false
+	}
+	return true
+}
+
+// runAttempt executes one attempt with per-attempt panic containment: a
+// crash is recorded as the attempt's fault so an idempotent node gets to
+// retry past an injected panic, and only a non-retryable one fails the
+// plan (the shell must survive a crashing utility either way).
+func (sup *nodeSup) runAttempt(fn func() int) (st int) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("node %d (%s): panic: %v", sup.nodeID, sup.label, r)
+			sup.mu.Lock()
+			sup.panicked = true
+			if sup.fault == nil {
+				sup.fault = err
+			}
+			first := sup.fault
+			sup.mu.Unlock()
+			if !sup.canRetryNow() {
+				sup.rs.abort(first)
+			}
+			st = 2
+		}
+	}()
+	return fn()
+}
+
+// backoff sleeps the jittered exponential delay before a retry, bailing
+// out early if the plan is torn down meanwhile. The cap is far below any
+// sane stall timeout so backoff never trips the watchdog.
+func (sup *nodeSup) backoff(attempt int) bool {
+	d := cost.RetryBackoffBase << attempt
+	if d <= 0 || d > cost.RetryBackoffMax {
+		d = cost.RetryBackoffMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-sup.rs.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// supervise drives the attempt loop. Each attempt runs against a private
+// stderr buffer so a healed attempt's diagnostics never reach the
+// session — only the attempt that stands (success, or the final failure)
+// speaks, and final failures speak through the run error.
+func (sup *nodeSup) supervise(env *Env, body func(*Env) int, setStatus func(int)) {
+	for attempt := 0; ; attempt++ {
+		sup.mu.Lock()
+		sup.fault, sup.panicked = nil, false
+		sup.mu.Unlock()
+		attemptEnv := *env
+		var errBuf bytes.Buffer
+		attemptEnv.Stderr = &errBuf
+		attemptEnv.abort = sup.noteFault
+		st := sup.runAttempt(func() int { return body(&attemptEnv) })
+		sup.mu.Lock()
+		fault, panicked := sup.fault, sup.panicked
+		sup.mu.Unlock()
+		if fault == nil {
+			if errBuf.Len() > 0 && env.Stderr != nil {
+				env.Stderr.Write(errBuf.Bytes())
+			}
+			setStatus(st)
+			return
+		}
+		if sup.canRetryNow() {
+			sup.budget--
+			sup.retries++
+			if sup.backoff(attempt) {
+				continue
+			}
+		}
+		sup.rs.abort(fault)
+		if panicked {
+			st = 2
+		} else if st == 0 {
+			st = 1
+		}
+		setStatus(st)
+		return
+	}
+}
+
+// journalTailMax bounds the withheld partial line; output with no
+// newlines at all degrades to unaligned journaling rather than growing
+// the holdback without bound.
+const journalTailMax = 16 << 20
+
+// journalWriter commits sink output at line granularity: complete lines
+// pass through immediately, a partial trailing line is withheld until
+// its newline (or EOF, via flush) arrives. The byte counter downstream
+// of it therefore records a line-aligned committed offset — the journal
+// a mid-stream interpreter fallback replays against, skipping exactly
+// the committed prefix.
+type journalWriter struct {
+	w    io.Writer
+	tail []byte
+}
+
+func (j *journalWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	nl := bytes.LastIndexByte(p, '\n')
+	if nl < 0 {
+		j.tail = append(j.tail, p...)
+		if len(j.tail) > journalTailMax {
+			if err := j.flush(); err != nil {
+				return 0, err
+			}
+		}
+		return total, nil
+	}
+	if len(j.tail) > 0 {
+		j.tail = append(j.tail, p[:nl+1]...)
+		if err := j.flush(); err != nil {
+			return 0, err
+		}
+	} else if _, err := j.w.Write(p[:nl+1]); err != nil {
+		return 0, err
+	}
+	j.tail = append(j.tail, p[nl+1:]...)
+	return total, nil
+}
+
+// flush commits the withheld tail (the final partial line at EOF).
+func (j *journalWriter) flush() error {
+	if len(j.tail) == 0 {
+		return nil
+	}
+	_, err := j.w.Write(j.tail)
+	j.tail = j.tail[:0]
+	return err
 }
 
 // Run executes the graph and returns the POSIX-style exit status: the
@@ -199,10 +438,17 @@ func Run(g *dfg.Graph, env *Env) (int, error) {
 //     unblocks promptly and no goroutine leaks;
 //   - a panic in any node goroutine is contained and converted into a
 //     node error (the shell must survive a crashing utility);
-//   - RunMetrics.SinkBytes reports how many bytes reached the final
-//     destination, so the caller can tell a failure that pre-empted all
-//     output (safe to re-run elsewhere, e.g. through the interpreter)
-//     from one that emitted partial output.
+//   - with Env.Retries > 0, a failed node that the effect gate proves
+//     idempotent (see nodeSup) is re-run with jittered backoff before
+//     the plan is declared dead;
+//   - with Env.StallTimeout > 0, a watchdog aborts the plan when its
+//     progress counters stop advancing, turning hangs into recoverable
+//     errors (ErrStalled);
+//   - RunMetrics.SinkBytes reports the line-aligned committed output
+//     offset (the sink journals through journalWriter), so the caller
+//     can tell a failure that pre-empted all output (safe to re-run
+//     elsewhere, e.g. through the interpreter) from one whose partial
+//     output a journal-aware fallback must skip.
 func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 	if err := g.Validate(); err != nil {
 		return 2, err
@@ -213,6 +459,10 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 	rs := newRunState()
 	runEnv.cancel = rs.done
 	runEnv.abort = rs.abort
+	// Stalled (ModeStall) fault operations block until the plan tears
+	// down; pointing the release channel at rs.done guarantees an aborted
+	// run always unblocks them.
+	env.Faults.Bind(rs.done)
 	// Node goroutines write Stdout (sink) and Stderr (diagnostics)
 	// concurrently; a caller may pass the same writer for both, so route
 	// them through one lock. Stderr additionally gates on teardown so
@@ -257,8 +507,56 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 		}
 	}()
 	counters := map[int]*nodeCounters{}
+	sups := map[int]*nodeSup{}
 	for _, n := range order {
-		counters[n.ID] = &nodeCounters{}
+		ctr := &nodeCounters{}
+		counters[n.ID] = ctr
+		sups[n.ID] = &nodeSup{
+			rs:       rs,
+			ctr:      ctr,
+			nodeID:   n.ID,
+			label:    n.Label(),
+			replayIn: n.Kind == dfg.KindSource && n.Path != "",
+			eligible: env.Retries > 0 && retryEligible(n, env.Lib),
+			budget:   env.Retries,
+		}
+	}
+	// Stall watchdog: progress is the sum of every node's byte counters;
+	// if it freezes for StallTimeout the plan is aborted. The counters
+	// map is read-only by now and its values are atomics, so the watchdog
+	// samples lock-free.
+	if env.StallTimeout > 0 {
+		progress := func() int64 {
+			var total int64
+			for _, c := range counters {
+				total += c.in.Load() + c.out.Load()
+			}
+			return total
+		}
+		go func() {
+			poll := env.StallTimeout / cost.StallPollDivisor
+			if poll <= 0 {
+				poll = env.StallTimeout
+			}
+			ticker := time.NewTicker(poll)
+			defer ticker.Stop()
+			last, lastMove := progress(), time.Now()
+			for {
+				select {
+				case <-watchDone:
+					return
+				case <-rs.done:
+					return
+				case <-ticker.C:
+					if cur := progress(); cur != last {
+						last, lastMove = cur, time.Now()
+					} else if time.Since(lastMove) >= env.StallTimeout {
+						rs.abort(fmt.Errorf("%w: no progress for %v", ErrStalled, env.StallTimeout))
+						return
+					}
+				}
+			}
+		}()
 	}
 	statuses := map[int]*int{}
 	walls := map[int]time.Duration{}
@@ -275,14 +573,16 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 			defer wg.Done()
 			start := time.Now()
 			ctr := counters[n.ID]
+			sup := sups[n.ID]
 			label := n.Label()
 			defer func() {
 				mu.Lock()
 				walls[n.ID] = time.Since(start)
 				mu.Unlock()
 			}()
-			// Panic containment: a crashing node (a coreutils bug, an
-			// injected panic) becomes a plan error, never a dead shell.
+			// Last-resort panic containment for the supervision machinery
+			// itself; attempt bodies are contained per-attempt by the
+			// supervisor so retryable nodes survive injected panics.
 			defer func() {
 				if r := recover(); r != nil {
 					setStatus(n.ID, 2)
@@ -295,7 +595,7 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 			for i, e := range ins {
 				var r io.Reader = pipes[e].r
 				if env.Faults != nil {
-					r = &faultReader{r: r, rs: rs, set: env.Faults, label: label}
+					r = &faultReader{r: r, sup: sup, set: env.Faults, label: label}
 				}
 				inReaders[i] = &countingReader{r, &ctr.in}
 			}
@@ -303,7 +603,7 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 			for i, e := range outs {
 				var w io.Writer = pipes[e].w
 				if env.Faults != nil {
-					w = &faultWriter{w: w, rs: rs, set: env.Faults, label: label}
+					w = &faultWriter{w: w, sup: sup, set: env.Faults, label: label}
 				}
 				outWriters[i] = &countingWriter{w, &ctr.out}
 			}
@@ -319,82 +619,95 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 			}
 			defer closeOuts()
 			defer closeIns()
-			switch n.Kind {
-			case dfg.KindSource:
-				var src io.Reader
-				if n.Path == "" {
-					src = env.Stdin
-					if src == nil {
-						src = strings.NewReader("")
-					}
-				} else {
-					if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
-						rs.abort(err)
-						setStatus(n.ID, 1)
-						return
-					}
-					rc, err := env.FS.Open(lookup(env.Dir, n.Path))
-					if err != nil {
-						rs.abort(err)
-						setStatus(n.ID, 1)
-						return
-					}
-					defer rc.Close()
-					src = rc
-				}
-				if env.Faults != nil {
-					src = &faultReader{r: src, rs: rs, set: env.Faults, label: label}
-				}
-				io.Copy(outWriters[0], &countingReader{src, &ctr.in})
-				setStatus(n.ID, 0)
-			case dfg.KindSink:
-				var dst io.Writer = env.Stdout
-				if dst == nil {
-					dst = io.Discard
-				}
-				var fileOut io.WriteCloser
-				if n.Path != "" {
-					if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
-						rs.abort(err)
-						setStatus(n.ID, 1)
-						return
-					}
-					w, err := openSink(env, n)
-					if err != nil {
-						rs.abort(err)
-						setStatus(n.ID, 1)
-						return
-					}
-					fileOut = w
-					dst = w
-				}
-				if env.Faults != nil {
-					dst = &faultWriter{w: dst, rs: rs, set: env.Faults, label: label}
-				}
-				_, cerr := io.Copy(&countingWriter{dst, &ctr.out}, inReaders[0])
-				if fileOut != nil {
-					if cerr != nil && ctr.out.Load() == 0 {
-						// The plan failed before the first byte: leave the
-						// destination untouched (a vfs fileWriter commits
-						// only on Close), so a fallback re-run starts from
-						// pristine state.
+			// The attempt body: pipes and counters persist across attempts
+			// (the retry gate guarantees nothing was consumed or emitted),
+			// while per-attempt state — the source's file handle, the
+			// stderr buffer in env — is rebuilt each time.
+			body := func(env *Env) int {
+				switch n.Kind {
+				case dfg.KindSource:
+					var src io.Reader
+					if n.Path == "" {
+						src = env.Stdin
+						if src == nil {
+							src = strings.NewReader("")
+						}
 					} else {
-						fileOut.Close()
+						if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+							sup.noteFault(err)
+							return 1
+						}
+						rc, err := env.FS.Open(lookup(env.Dir, n.Path))
+						if err != nil {
+							sup.noteFault(err)
+							return 1
+						}
+						defer rc.Close()
+						src = rc
 					}
+					if env.Faults != nil {
+						src = &faultReader{r: src, sup: sup, set: env.Faults, label: label}
+					}
+					io.Copy(outWriters[0], &countingReader{src, &ctr.in})
+					return 0
+				case dfg.KindSink:
+					var dst io.Writer = env.Stdout
+					if dst == nil {
+						dst = io.Discard
+					}
+					var fileOut io.WriteCloser
+					if n.Path != "" {
+						if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+							sup.noteFault(err)
+							return 1
+						}
+						w, err := openSink(env, n)
+						if err != nil {
+							sup.noteFault(err)
+							return 1
+						}
+						fileOut = w
+						dst = w
+					}
+					if env.Faults != nil {
+						dst = &faultWriter{w: dst, sup: sup, set: env.Faults, label: label}
+					}
+					// Journal the committed output at line granularity: the
+					// counter below the journal records the line-aligned
+					// offset a mid-stream fallback replays against.
+					jw := &journalWriter{w: &countingWriter{dst, &ctr.out}}
+					_, cerr := io.Copy(jw, inReaders[0])
+					if cerr == nil {
+						cerr = jw.flush()
+					}
+					if fileOut != nil {
+						if cerr != nil && ctr.out.Load() == 0 {
+							// The plan failed before the first committed
+							// byte: leave the destination untouched (a vfs
+							// fileWriter commits only on Close), so a
+							// fallback re-run starts from pristine state.
+						} else {
+							// Commit — on failure, exactly the journaled
+							// line-aligned prefix, which SinkBytes reports.
+							fileOut.Close()
+						}
+					}
+					return 0
+				case dfg.KindSplit:
+					closers := make([]func(), len(outs))
+					for i, e := range outs {
+						w := pipes[e].w
+						closers[i] = func() { w.Close() }
+					}
+					return runSplit(n, inReaders[0], outWriters, closers, splitLaneTarget(g, n, env))
+				case dfg.KindMerge:
+					return runMerge(n, inReaders, outWriters[0], env)
+				case dfg.KindCommand:
+					return runCommand(n, inReaders, outWriters[0], env)
 				}
-				setStatus(n.ID, 0)
-			case dfg.KindSplit:
-				closers := make([]func(), len(outs))
-				for i, e := range outs {
-					w := pipes[e].w
-					closers[i] = func() { w.Close() }
-				}
-				setStatus(n.ID, runSplit(n, inReaders[0], outWriters, closers, splitLaneTarget(g, n, env)))
-			case dfg.KindMerge:
-				setStatus(n.ID, runMerge(n, inReaders, outWriters[0], env))
-			case dfg.KindCommand:
-				setStatus(n.ID, runCommand(n, inReaders, outWriters[0], env))
+				return 0
 			}
+			sup.supervise(env, body, func(st int) { setStatus(n.ID, st) })
 		}(n)
 	}
 	wg.Wait()
@@ -413,11 +726,13 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 				BytesIn:  ctr.in.Load(),
 				BytesOut: ctr.out.Load(),
 				Wall:     walls[n.ID],
+				Retries:  sups[n.ID].retries,
 			}
 			for _, e := range g.Out(n.ID) {
 				nm.PeakBufferedBytes += int64(pipes[e].r.p.peakBuffered())
 			}
 			metrics.Nodes = append(metrics.Nodes, nm)
+			metrics.Retries += nm.Retries
 		}
 		metrics.SinkBytes = sinkBytes
 	}

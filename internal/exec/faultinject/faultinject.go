@@ -13,7 +13,9 @@ package faultinject
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -48,6 +50,11 @@ const (
 	// ModePanic makes the operation panic, exercising the executor's
 	// per-node panic containment.
 	ModePanic
+	// ModeStall makes the operation hang — block until the Set's release
+	// channel (see Bind) closes, then fail — exercising the executor's
+	// stall watchdog. An unbound stall degrades to an immediate error so a
+	// harness misconfiguration can never deadlock a test.
+	ModeStall
 )
 
 // Rule arms one fault: the Nth matching operation of a matching node
@@ -70,10 +77,18 @@ type armed struct {
 	fired atomic.Bool
 }
 
-// Set is a collection of armed rules, safe for concurrent use by the
-// executor's node goroutines.
+// Set is a collection of armed rules (and, optionally, a probabilistic
+// chaos injector), safe for concurrent use by the executor's node
+// goroutines.
 type Set struct {
 	rules []*armed
+	chaos *chaosState
+
+	// release is what blocked ModeStall faults wait on; the executor
+	// rebinds it to the current run's teardown channel (Bind), so an
+	// aborted plan always unblocks its stalled nodes.
+	relMu   sync.Mutex
+	release <-chan struct{}
 }
 
 // NewSet arms the given rules.
@@ -86,6 +101,53 @@ func NewSet(rules ...Rule) *Set {
 		s.rules = append(s.rules, &armed{Rule: r})
 	}
 	return s
+}
+
+// ChaosConfig parameterizes the seeded probabilistic injector: every
+// instrumented operation independently fails, panics, or stalls with the
+// given probabilities. The same seed replays the same fault schedule for
+// the same operation sequence, which is what lets the differential chaos
+// suite shrink a failure to its seed.
+type ChaosConfig struct {
+	Seed   int64
+	PFail  float64 // probability an operation returns an error
+	PPanic float64 // probability an operation panics
+	PStall float64 // probability an operation hangs until released
+}
+
+// chaosState is the injector's mutable half: a seeded generator behind a
+// mutex (node goroutines draw concurrently) plus a fired counter.
+type chaosState struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	cfg   ChaosConfig
+	fired atomic.Int64
+}
+
+// NewChaos arms a probabilistic injector. Deterministic rules can be
+// layered on top with the returned Set's rules left empty — chaos and
+// rules share the same Check entry point.
+func NewChaos(cfg ChaosConfig) *Set {
+	return &Set{chaos: &chaosState{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}}
+}
+
+// Bind points blocked ModeStall faults at a release channel — the
+// executor passes its per-run teardown channel so aborting the plan (the
+// watchdog's job) unblocks every stalled operation. Safe to rebind
+// between runs; stalls in flight keep the channel they started with.
+func (s *Set) Bind(release <-chan struct{}) {
+	if s == nil {
+		return
+	}
+	s.relMu.Lock()
+	s.release = release
+	s.relMu.Unlock()
+}
+
+func (s *Set) currentRelease() <-chan struct{} {
+	s.relMu.Lock()
+	defer s.relMu.Unlock()
+	return s.release
 }
 
 // Error is the failure a tripped ModeError rule delivers.
@@ -106,8 +168,10 @@ func (e *Error) Error() string {
 func (e *Error) Unwrap() error { return e.Err }
 
 // Check records one operation by the named node and, when a rule trips,
-// returns its error (ModeError) or panics (ModePanic). A nil Set is safe
-// and always passes.
+// returns its error (ModeError), panics (ModePanic), or blocks until the
+// bound release channel closes and then returns an error (ModeStall).
+// With a chaos injector armed, every operation additionally draws from
+// the seeded generator. A nil Set is safe and always passes.
 func (s *Set) Check(node string, op Op) error {
 	if s == nil {
 		return nil
@@ -120,16 +184,47 @@ func (s *Set) Check(node string, op Op) error {
 			continue
 		}
 		a.fired.Store(true)
-		ferr := &Error{Node: node, Op: op, Nth: a.Nth, Err: a.Err}
-		if a.Mode == ModePanic {
-			panic(ferr)
+		return s.deliver(a.Mode, &Error{Node: node, Op: op, Nth: a.Nth, Err: a.Err})
+	}
+	if c := s.chaos; c != nil {
+		c.mu.Lock()
+		draw := c.rng.Float64()
+		cfg := c.cfg
+		c.mu.Unlock()
+		var mode Mode
+		switch {
+		case draw < cfg.PFail:
+			mode = ModeError
+		case draw < cfg.PFail+cfg.PPanic:
+			mode = ModePanic
+		case draw < cfg.PFail+cfg.PPanic+cfg.PStall:
+			mode = ModeStall
+		default:
+			return nil
 		}
-		return ferr
+		c.fired.Add(1)
+		return s.deliver(mode, &Error{Node: node, Op: op, Nth: 0,
+			Err: fmt.Errorf("chaos(seed=%d)", cfg.Seed)})
 	}
 	return nil
 }
 
-// Fired reports how many rules have tripped.
+// deliver manifests a tripped fault per its mode.
+func (s *Set) deliver(mode Mode, ferr *Error) error {
+	switch mode {
+	case ModePanic:
+		panic(ferr)
+	case ModeStall:
+		if release := s.currentRelease(); release != nil {
+			<-release
+		}
+		return fmt.Errorf("stalled operation released: %w", ferr)
+	}
+	return ferr
+}
+
+// Fired reports how many faults have tripped: deterministic rules that
+// fired plus every chaos draw that manifested.
 func (s *Set) Fired() int {
 	if s == nil {
 		return 0
@@ -139,6 +234,9 @@ func (s *Set) Fired() int {
 		if a.fired.Load() {
 			n++
 		}
+	}
+	if s.chaos != nil {
+		n += int(s.chaos.fired.Load())
 	}
 	return n
 }

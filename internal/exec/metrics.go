@@ -25,6 +25,9 @@ type NodeMetrics struct {
 	// Wall is the node goroutine's lifetime (overlapped across nodes, so
 	// the per-node walls do not sum to the run's wall time).
 	Wall time.Duration
+	// Retries counts the node's supervised re-runs: failed attempts that
+	// the effect gate deemed safe to repeat.
+	Retries int
 }
 
 // RunMetrics collects per-node counters for one graph execution. Attach
@@ -32,11 +35,17 @@ type NodeMetrics struct {
 type RunMetrics struct {
 	// Nodes is in topological order.
 	Nodes []NodeMetrics
-	// SinkBytes counts the bytes that reached the sink's destination.
-	// When a plan fails with SinkBytes == 0, no output escaped, so the
-	// caller may safely re-run the region another way (the interpreter
-	// fallback's before-first-byte rule).
+	// SinkBytes counts the bytes committed to the sink's destination.
+	// The sink journals its output at line granularity — a partial
+	// trailing line is held back until the next newline (or EOF) — so on
+	// failure SinkBytes is always a line-aligned prefix of the plan's
+	// output. SinkBytes == 0 means no output escaped and the caller may
+	// re-run the region from pristine state; SinkBytes > 0 tells a
+	// journal-aware fallback exactly how many bytes to skip when
+	// replaying the region another way.
 	SinkBytes int64
+	// Retries totals the supervised node re-runs across the plan.
+	Retries int
 }
 
 // TotalBytesMoved sums the bytes every node produced — the run's actual

@@ -271,13 +271,27 @@ func (in *Interp) subshell() *Interp {
 // that calls this again at shutdown) cannot recurse. The shell's exit
 // status is preserved across the trap body unless the body calls exit
 // with an explicit status, which POSIX lets override it.
-func (in *Interp) RunExitTrap() {
-	cmd, ok := in.Traps["EXIT"]
+func (in *Interp) RunExitTrap() { in.runTrap("EXIT") }
+
+// RunPendingTraps runs the actions for the given trap conditions in
+// order, each exactly once with the same consume-before-run discipline
+// as RunExitTrap. It is how an externally imposed deadline gives the
+// script's INT/TERM/EXIT handlers their last word before the session
+// exits with the timeout convention's status.
+func (in *Interp) RunPendingTraps(conds ...string) {
+	for _, c := range conds {
+		in.runTrap(c)
+	}
+}
+
+// runTrap consumes and runs one trap condition's action.
+func (in *Interp) runTrap(cond string) {
+	cmd, ok := in.Traps[cond]
 	if !ok || strings.TrimSpace(cmd) == "" {
-		delete(in.Traps, "EXIT")
+		delete(in.Traps, cond)
 		return
 	}
-	delete(in.Traps, "EXIT")
+	delete(in.Traps, cond)
 	saved := in.Status
 	func() {
 		defer func() {
