@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race fault lint verify bench clean
+.PHONY: all build test vet race fault lint verify bench bench-check clean
 
 all: verify
 
@@ -36,8 +36,18 @@ lint:
 # verify is the tier-1 gate: everything a change must pass before merge.
 verify: vet build test race fault lint
 
+# bench regenerates the committed throughput baseline alongside the
+# paper's experiment tables. Run it on a quiet machine after perf work
+# and commit the refreshed BENCH_throughput.json.
 bench:
+	$(GO) run ./cmd/jashbench throughput -json BENCH_throughput.json
 	$(GO) run ./cmd/jashbench all
+
+# bench-check fails if sustained throughput regressed more than 15%
+# against the committed baseline (the CI perf gate).
+bench-check:
+	$(GO) run ./cmd/jashbench throughput -json BENCH_current.json \
+		-baseline BENCH_throughput.json -max-regress 0.15
 
 clean:
 	$(GO) clean ./...

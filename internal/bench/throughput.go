@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"jash/internal/interp"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// ThroughputReport is the machine-readable result of the sustained
+// throughput benchmark (BENCH_throughput.json). It is the regression
+// gate for the compilation pass and the pooled-buffer I/O paths: CI
+// compares a fresh run against the committed baseline and fails on a
+// >15% drop in any primary metric.
+type ThroughputReport struct {
+	// Loop measures shell-level control flow: a pure arithmetic
+	// while-loop, where dispatch overhead dominates. CompiledIterPerSec
+	// uses the closure-compilation pass; TreeWalkIterPerSec forces the
+	// NoCompile oracle. Speedup is their ratio.
+	Loop struct {
+		Iters              int     `json:"iters"`
+		CompiledIterPerSec float64 `json:"compiled_iter_per_sec"`
+		TreeWalkIterPerSec float64 `json:"treewalk_iter_per_sec"`
+		Speedup            float64 `json:"speedup"`
+	} `json:"loop"`
+	// Pipeline measures streaming throughput of a word-frequency
+	// pipeline over a generated corpus, in input MB/s.
+	Pipeline struct {
+		Bytes    int     `json:"bytes"`
+		MBPerSec float64 `json:"mb_per_sec"`
+	} `json:"pipeline"`
+	// FilterChain measures the pooled-buffer hot path: a grep|tr|cut|wc
+	// chain over a large file, reporting MB/s and heap allocations per
+	// input MB (the zero-copy paths keep this near-constant as the
+	// input grows).
+	FilterChain struct {
+		Bytes       int     `json:"bytes"`
+		MBPerSec    float64 `json:"mb_per_sec"`
+		AllocsPerMB float64 `json:"allocs_per_mb"`
+	} `json:"filter_chain"`
+}
+
+// loopScript is the loop-heavy workload: arithmetic and builtins only,
+// so iteration rate isolates dispatch cost from I/O.
+func loopScript(n int) string {
+	return fmt.Sprintf("i=0; s=0; while [ $i -lt %d ]; do i=$((i+1)); s=$((s+i)); done", n)
+}
+
+// runLoop executes the loop workload once and returns iterations/sec.
+func runLoop(noCompile bool, n int) (float64, error) {
+	in := interp.New(vfs.New())
+	in.NoCompile = noCompile
+	in.Stdout = io.Discard
+	in.Stderr = io.Discard
+	// Warm caches (parse, compile) outside the timed region.
+	if st, err := in.RunScript(loopScript(100)); err != nil || st != 0 {
+		return 0, fmt.Errorf("loop warmup: status %d err %v", st, err)
+	}
+	start := time.Now()
+	if st, err := in.RunScript(loopScript(n)); err != nil || st != 0 {
+		return 0, fmt.Errorf("loop: status %d err %v", st, err)
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}
+
+// runPipeline times one scripted pipeline over a prepared corpus and
+// returns (MB/s of input, allocs per input MB).
+func runPipeline(script string, corpusBytes int) (float64, float64, error) {
+	fs := vfs.New()
+	fs.WriteFile("/words", workload.Words(11, corpusBytes))
+	in := interp.New(fs)
+	in.Stdout = io.Discard
+	in.Stderr = io.Discard
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if st, err := in.RunScript(script); err != nil || st != 0 {
+		return 0, 0, fmt.Errorf("pipeline: status %d err %v", st, err)
+	}
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	mb := float64(corpusBytes) / (1 << 20)
+	allocs := float64(after.Mallocs - before.Mallocs)
+	return mb / secs, allocs / mb, nil
+}
+
+// Throughput runs the sustained-throughput suite at the given scales.
+func Throughput(loopIters, corpusBytes int) (*ThroughputReport, error) {
+	rep := &ThroughputReport{}
+	rep.Loop.Iters = loopIters
+	// Best-of-3 damps scheduler noise: the gate compares sustained
+	// capability, not one run's jitter.
+	best := func(noCompile bool) (float64, error) {
+		var top float64
+		for i := 0; i < 3; i++ {
+			v, err := runLoop(noCompile, loopIters)
+			if err != nil {
+				return 0, err
+			}
+			if v > top {
+				top = v
+			}
+		}
+		return top, nil
+	}
+	tw, err := best(true)
+	if err != nil {
+		return nil, err
+	}
+	co, err := best(false)
+	if err != nil {
+		return nil, err
+	}
+	rep.Loop.TreeWalkIterPerSec = tw
+	rep.Loop.CompiledIterPerSec = co
+	rep.Loop.Speedup = co / tw
+
+	rep.Pipeline.Bytes = corpusBytes
+	mbs, _, err := runPipeline("cat /words | tr A-Z a-z | sort | uniq -c >/freq", corpusBytes)
+	if err != nil {
+		return nil, err
+	}
+	rep.Pipeline.MBPerSec = mbs
+
+	rep.FilterChain.Bytes = corpusBytes
+	mbs, allocs, err := runPipeline("grep -v zzz </words | tr a-z A-Z | cut -c 1-40 | wc -l >/count", corpusBytes)
+	if err != nil {
+		return nil, err
+	}
+	rep.FilterChain.MBPerSec = mbs
+	rep.FilterChain.AllocsPerMB = allocs
+	return rep, nil
+}
+
+// Rows renders the report in the experiment-table format.
+func (r *ThroughputReport) Rows() []Row {
+	return []Row{
+		{"throughput", fmt.Sprintf("loop %d iters", r.Loop.Iters), "treewalk", 0,
+			fmt.Sprintf("%.0f iter/s", r.Loop.TreeWalkIterPerSec)},
+		{"throughput", fmt.Sprintf("loop %d iters", r.Loop.Iters), "compiled", 0,
+			fmt.Sprintf("%.0f iter/s (%.2fx)", r.Loop.CompiledIterPerSec, r.Loop.Speedup)},
+		{"throughput", sizeName(int64(r.Pipeline.Bytes)), "pipeline", 0,
+			fmt.Sprintf("%.1f MB/s", r.Pipeline.MBPerSec)},
+		{"throughput", sizeName(int64(r.FilterChain.Bytes)), "filters", 0,
+			fmt.Sprintf("%.1f MB/s, %.0f allocs/MB", r.FilterChain.MBPerSec, r.FilterChain.AllocsPerMB)},
+	}
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *ThroughputReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckRegression compares this report against a baseline file and
+// returns an error naming any primary metric that regressed by more
+// than maxRegress (a fraction, e.g. 0.15). Allocation counts gate in
+// the other direction: more allocations per MB is the regression.
+// Throughput metrics on shared CI hardware are noisy, which is why the
+// tolerance is a wide 15% rather than a benchmark-grade 2%.
+func (r *ThroughputReport) CheckRegression(baselinePath string, maxRegress float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base ThroughputReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	var failures []string
+	check := func(name string, now, was float64) {
+		if was > 0 && now < was*(1-maxRegress) {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f vs baseline %.1f (-%.0f%%)", name, now, was, 100*(1-now/was)))
+		}
+	}
+	check("loop.compiled_iter_per_sec", r.Loop.CompiledIterPerSec, base.Loop.CompiledIterPerSec)
+	check("loop.speedup", r.Loop.Speedup, base.Loop.Speedup)
+	check("pipeline.mb_per_sec", r.Pipeline.MBPerSec, base.Pipeline.MBPerSec)
+	check("filter_chain.mb_per_sec", r.FilterChain.MBPerSec, base.FilterChain.MBPerSec)
+	// Inverted: allocations growing past the tolerance is the defect.
+	if was := base.FilterChain.AllocsPerMB; was > 0 && r.FilterChain.AllocsPerMB > was*(1+maxRegress) {
+		failures = append(failures,
+			fmt.Sprintf("filter_chain.allocs_per_mb: %.0f vs baseline %.0f (+%.0f%%)",
+				r.FilterChain.AllocsPerMB, was, 100*(r.FilterChain.AllocsPerMB/was-1)))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regression beyond %.0f%%:\n  %s",
+			maxRegress*100, joinLines(failures))
+	}
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}

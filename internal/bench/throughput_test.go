@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestThroughputSmoke runs the suite at tiny scale: every metric must be
+// positive and the compiled loop path must not be slower than tree-walk
+// (the whole point of the compilation pass).
+func TestThroughputSmoke(t *testing.T) {
+	rep, err := Throughput(5000, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loop.CompiledIterPerSec <= 0 || rep.Loop.TreeWalkIterPerSec <= 0 {
+		t.Fatalf("non-positive loop rates: %+v", rep.Loop)
+	}
+	if rep.Loop.Speedup < 1 {
+		t.Fatalf("compiled path slower than tree-walk: %.2fx", rep.Loop.Speedup)
+	}
+	if rep.Pipeline.MBPerSec <= 0 || rep.FilterChain.MBPerSec <= 0 {
+		t.Fatalf("non-positive throughput: %+v", rep)
+	}
+	if len(rep.Rows()) != 4 {
+		t.Fatalf("Rows() = %d rows, want 4", len(rep.Rows()))
+	}
+}
+
+// TestThroughputRegressionGate exercises CheckRegression's arithmetic:
+// a clean run passes, a >15% drop in a throughput metric fails, and a
+// >15% growth in allocations (the inverted metric) fails too.
+func TestThroughputRegressionGate(t *testing.T) {
+	base := &ThroughputReport{}
+	base.Loop.CompiledIterPerSec = 1000
+	base.Loop.Speedup = 2.5
+	base.Pipeline.MBPerSec = 100
+	base.FilterChain.MBPerSec = 200
+	base.FilterChain.AllocsPerMB = 40
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := base.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	same := *base
+	if err := same.CheckRegression(path, 0.15); err != nil {
+		t.Fatalf("identical run flagged: %v", err)
+	}
+	// 10% down is inside the tolerance.
+	okDrop := *base
+	okDrop.Pipeline.MBPerSec = 90
+	if err := okDrop.CheckRegression(path, 0.15); err != nil {
+		t.Fatalf("10%% drop flagged at 15%% tolerance: %v", err)
+	}
+	slow := *base
+	slow.FilterChain.MBPerSec = 100
+	if err := slow.CheckRegression(path, 0.15); err == nil {
+		t.Fatal("50% throughput drop passed the gate")
+	}
+	leaky := *base
+	leaky.FilterChain.AllocsPerMB = 80
+	if err := leaky.CheckRegression(path, 0.15); err == nil {
+		t.Fatal("doubled allocations passed the gate")
+	}
+	missing := *base
+	if err := missing.CheckRegression(filepath.Join(t.TempDir(), "nope.json"), 0.15); err == nil {
+		t.Fatal("missing baseline did not error")
+	}
+}

@@ -73,6 +73,7 @@ func awkCmd(c *Context, args []string) int {
 		vars: map[string]awkValue{"OFS": awkStr(" "), "FS": awkStr(" ")},
 		out:  newLineWriter(c.Stdout),
 	}
+	defer env.out.Release()
 	if fs != "" {
 		env.vars["FS"] = awkStr(fs)
 	}
@@ -373,8 +374,25 @@ func awkFormat(format string, vals []awkValue) (string, error) {
 			break
 		}
 		spec := "%"
-		for i < len(format) && strings.IndexByte("-+ 0123456789.", format[i]) >= 0 {
-			spec += string(format[i])
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				// POSIX: * takes the width (or precision, after '.') from
+				// the next argument. A negative precision counts as
+				// omitted, per C; a negative width reads as the '-' flag.
+				n := int64(next().num())
+				if strings.HasSuffix(spec, ".") && n < 0 {
+					spec = spec[:len(spec)-1]
+				} else {
+					spec += strconv.FormatInt(n, 10)
+				}
+				i++
+				continue
+			}
+			if strings.IndexByte("-+ 0123456789.", c) < 0 {
+				break
+			}
+			spec += string(c)
 			i++
 		}
 		if i >= len(format) {

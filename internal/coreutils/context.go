@@ -34,6 +34,20 @@ type Context struct {
 	// down. Compute-heavy loops (yes, seq) poll it so they stop even
 	// when they are between pipe operations; nil means never cancelled.
 	Cancel <-chan struct{}
+	// Abort, when non-nil, reports a defect that invalidates the whole
+	// surrounding plan rather than just this invocation. A parallelized
+	// executor sets it for lane utilities: a lane hitting the line-length
+	// limit must tear the plan down (so the caller falls back to the
+	// sequential path) instead of failing quietly while sibling lanes
+	// keep producing output the sequential run would never emit.
+	Abort func(error)
+}
+
+// escalate routes a line-limit violation to the plan-abort hook, if any.
+func (c *Context) escalate(err error) {
+	if err == errLineTooLong && c.Abort != nil {
+		c.Abort(err)
+	}
 }
 
 // Cancelled reports whether the surrounding plan has been torn down.
@@ -59,17 +73,29 @@ const cancelPollLines = 1024
 // Cancel periodically, stopping early (silently, like a consumer hangup)
 // when the surrounding plan has been torn down.
 func (c *Context) forEachLine(r io.Reader, fn func(line []byte) error) error {
+	var err error
 	if c.Cancel == nil {
-		return forEachLine(r, fn)
+		err = forEachLine(r, fn)
+	} else {
+		n := 0
+		err = forEachLine(r, func(line []byte) error {
+			n++
+			if n%cancelPollLines == 0 && c.Cancelled() {
+				return io.EOF
+			}
+			return fn(line)
+		})
 	}
-	n := 0
-	return forEachLine(r, func(line []byte) error {
-		n++
-		if n%cancelPollLines == 0 && c.Cancelled() {
-			return io.EOF
-		}
-		return fn(line)
-	})
+	c.escalate(err)
+	return err
+}
+
+// readLines is the Context-aware slurp: like the package-level readLines
+// but escalating a line-limit violation to the plan-abort hook.
+func (c *Context) readLines(r io.Reader) ([]string, error) {
+	lines, err := readLines(r)
+	c.escalate(err)
+	return lines, err
 }
 
 // Lookup resolves a possibly-relative path against the working directory.

@@ -823,6 +823,37 @@ func TestSedTransliterate(t *testing.T) {
 	}
 }
 
+func TestSedTransliterateMultibyte(t *testing.T) {
+	cases := []struct {
+		script, in, want string
+	}{
+		// Multibyte on both sides: whole runes map, never bytes.
+		{"y/äöü/aou/", "äöü grüße\n", "aou gruße\n"},
+		// Multibyte only in from: ä (2 bytes) to x (1 byte).
+		{"y/ä/x/", "bär\n", "bxr\n"},
+		// Multibyte only in to.
+		{"y/a/ä/", "banana\n", "bänänä\n"},
+		// ASCII text must be untouched by a multibyte mapping.
+		{"y/é/e/", "plain\n", "plain\n"},
+		// Three-byte CJK runes.
+		{"y/日本/にほ/", "日本語\n", "にほ語\n"},
+		// Characters sharing a lead byte with set members stay intact:
+		// é (C3 A9) passes through y/ä/a/ (ä = C3 A4) unharmed.
+		{"y/ä/a/", "café\n", "café\n"},
+	}
+	for _, c := range cases {
+		out, errs, st := run(t, vfs.New(), c.in, "sed", c.script)
+		if st != 0 || out != c.want {
+			t.Errorf("sed %q: out=%q st=%d errs=%q want %q", c.script, out, st, errs, c.want)
+		}
+	}
+	// Set lengths are measured in characters, not bytes: y/ä/x/ is legal
+	// (2 bytes vs 1), y/ab/ä/ is not (2 chars vs 1).
+	if _, _, st := run(t, vfs.New(), "x\n", "sed", "y/ab/ä/"); st == 0 {
+		t.Error("y with differing character counts should fail")
+	}
+}
+
 func TestSedLastLineAddress(t *testing.T) {
 	out, _, st := run(t, vfs.New(), "a\nb\nc\n", "sed", "-n", "$p")
 	if st != 0 || out != "c\n" {
@@ -846,6 +877,31 @@ func TestAwkPrintf(t *testing.T) {
 		{`{printf "%05.1f|", $1}`, "2.5\n", "002.5|"},
 		{`END {printf "done\n"}`, "x\n", "done\n"},
 		{`{printf "%x\n", $1}`, "255\n", "ff\n"},
+	}
+	for _, c := range cases {
+		out, errs, st := run(t, vfs.New(), c.in, "awk", c.prog)
+		if st != 0 || out != c.want {
+			t.Errorf("awk %q: out=%q st=%d errs=%q want %q", c.prog, out, st, errs, c.want)
+		}
+	}
+}
+
+func TestAwkPrintfDynamicWidth(t *testing.T) {
+	// Expected strings match POSIX awk (gawk/mawk) output for the same
+	// programs: %*d and %.*f consume the next argument as width or
+	// precision; a negative width left-justifies, a negative precision
+	// counts as omitted.
+	cases := []struct {
+		prog, in, want string
+	}{
+		{`{printf "%*d|\n", 6, $1}`, "42\n", "    42|\n"},
+		{`{printf "%*d|\n", -6, $1}`, "42\n", "42    |\n"},
+		{`{printf "%.*f\n", 2, $1}`, "3.14159\n", "3.14\n"},
+		{`{printf "%.*f\n", 0, $1}`, "3.7\n", "4\n"},
+		{`{printf "%*.*f|\n", 8, 2, $1}`, "3.14159\n", "    3.14|\n"},
+		{`{printf "%.*f\n", -1, $1}`, "2.5\n", "2.500000\n"},
+		{`{printf "%-*s|\n", 5, $1}`, "ab\n", "ab   |\n"},
+		{`{printf "%0*d\n", 4, $1}`, "7\n", "0007\n"},
 	}
 	for _, c := range cases {
 		out, errs, st := run(t, vfs.New(), c.in, "awk", c.prog)
@@ -997,5 +1053,69 @@ func TestUniqCountsAcrossBoundary(t *testing.T) {
 	}
 	if total != 6 {
 		t.Errorf("counts sum to %d, want 6", total)
+	}
+}
+
+// TestForEachLineMaxLineBoundary pins the 16 MiB line limit in both
+// branches of forEachLine: a newline-terminated over-long line (the
+// continuation joins inside the newline branch) and an unterminated one
+// (checked in the no-newline branch) must both error, while a line of
+// exactly maxLine bytes passes intact either way.
+func TestForEachLineMaxLineBoundary(t *testing.T) {
+	atLimit := strings.Repeat("a", maxLine)
+	over := atLimit + "b"
+	cases := []struct {
+		name    string
+		input   string
+		wantErr bool
+	}{
+		{"at-limit terminated", atLimit + "\n", false},
+		{"at-limit unterminated", atLimit, false},
+		{"over terminated", over + "\n", true},
+		{"over unterminated", over, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got int
+			err := forEachLine(strings.NewReader(tc.input), func(line []byte) error {
+				got = len(line)
+				return nil
+			})
+			if tc.wantErr {
+				if err != errLineTooLong {
+					t.Fatalf("err = %v, want errLineTooLong", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected err: %v", err)
+			}
+			if got != maxLine {
+				t.Fatalf("line length = %d, want %d", got, maxLine)
+			}
+		})
+	}
+}
+
+// TestContextEscalateLineTooLong checks the plan-abort hook: a Context
+// with Abort set must fire it when forEachLine hits the line limit, and
+// must not fire it for ordinary EOF or short lines.
+func TestContextEscalateLineTooLong(t *testing.T) {
+	var aborted error
+	c := &Context{Abort: func(err error) { aborted = err }}
+	long := strings.Repeat("x", maxLine+1)
+	err := c.forEachLine(strings.NewReader(long), func([]byte) error { return nil })
+	if err != errLineTooLong {
+		t.Fatalf("err = %v, want errLineTooLong", err)
+	}
+	if aborted != errLineTooLong {
+		t.Fatalf("abort hook got %v, want errLineTooLong", aborted)
+	}
+	aborted = nil
+	if err := c.forEachLine(strings.NewReader("short\n"), func([]byte) error { return nil }); err != nil {
+		t.Fatalf("short line err: %v", err)
+	}
+	if aborted != nil {
+		t.Fatalf("abort hook fired on short input: %v", aborted)
 	}
 }

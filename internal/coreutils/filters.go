@@ -71,7 +71,12 @@ func grepCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
+	quiet := has(flags, 'q')
+	countOnly := has(flags, 'c')
+	number := has(flags, 'n')
 	var count, lineNo int64
+	var scratch []byte // reused number prefix for -n
 	matched := false
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		lineNo++
@@ -80,15 +85,17 @@ func grepCmd(c *Context, args []string) int {
 			return nil
 		}
 		matched = true
-		if has(flags, 'q') {
+		if quiet {
 			return io.EOF
 		}
 		count++
-		if has(flags, 'c') {
+		if countOnly {
 			return nil
 		}
-		if has(flags, 'n') {
-			lw.WriteString(strconv.FormatInt(lineNo, 10) + ":")
+		if number {
+			scratch = strconv.AppendInt(scratch[:0], lineNo, 10)
+			scratch = append(scratch, ':')
+			lw.Write(scratch)
 		}
 		lw.WriteLine(line)
 		return nil
@@ -96,8 +103,9 @@ func grepCmd(c *Context, args []string) int {
 	if e != nil {
 		return c.Errorf(2, "grep: %v", e)
 	}
-	if has(flags, 'c') {
-		lw.WriteLine([]byte(strconv.FormatInt(count, 10)))
+	if countOnly {
+		scratch = strconv.AppendInt(scratch[:0], count, 10)
+		lw.WriteLine(scratch)
 	}
 	lw.Flush()
 	if matched {
@@ -273,34 +281,56 @@ func trCmd(c *Context, args []string) int {
 			inSqueeze[b] = true
 		}
 	}
+	// A pure 1:1 translation (no delete, no squeeze) can rewrite the chunk
+	// in place and skip the output-accumulation pass entirely.
+	passthrough := !del && !squeeze
 	in := bufReader(c.Stdin)
 	out := newLineWriter(c.Stdout)
+	defer out.Release()
 	var lastOut int = -1
-	buf := make([]byte, 64<<10)
-	outBuf := make([]byte, 0, 64<<10)
+	buf := getBlock()[:blockSize]
+	outBuf := getBlock()
+	defer func() {
+		putBlock(buf)
+		putBlock(outBuf)
+	}()
 	for {
 		// tr streams chunks, not lines, so it polls cancellation per chunk.
 		if c.Cancelled() {
 			break
 		}
 		n, e := in.Read(buf)
-		outBuf = outBuf[:0]
-		for _, b := range buf[:n] {
-			if del && inSet1[b] {
-				continue
+		chunk := buf[:n]
+		if passthrough {
+			for i, b := range chunk {
+				chunk[i] = xlate[b]
 			}
-			ob := b
-			if !del {
-				ob = xlate[b]
+			if len(chunk) > 0 {
+				if _, werr := out.Write(chunk); werr != nil {
+					break
+				}
 			}
-			if squeeze && inSqueeze[ob] && int(ob) == lastOut {
-				continue
+		} else {
+			outBuf = outBuf[:0]
+			for _, b := range chunk {
+				if del && inSet1[b] {
+					continue
+				}
+				ob := b
+				if !del {
+					ob = xlate[b]
+				}
+				if squeeze && inSqueeze[ob] && int(ob) == lastOut {
+					continue
+				}
+				lastOut = int(ob)
+				outBuf = append(outBuf, ob)
 			}
-			lastOut = int(ob)
-			outBuf = append(outBuf, ob)
-		}
-		if len(outBuf) > 0 && !out.WriteString(string(outBuf)) {
-			break
+			if len(outBuf) > 0 {
+				if _, werr := out.Write(outBuf); werr != nil {
+					break
+				}
+			}
 		}
 		if e == io.EOF {
 			break
@@ -367,6 +397,9 @@ func cutCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
+	scratch := getBlock()
+	defer func() { putBlock(scratch) }()
 	switch {
 	case has(flags, 'c'):
 		ranges, err := parseCutList(flags['c'])
@@ -374,7 +407,7 @@ func cutCmd(c *Context, args []string) int {
 			return c.Errorf(2, "cut: %v", err)
 		}
 		e := c.forEachLine(concatReaders(rs), func(line []byte) error {
-			var out []byte
+			scratch = scratch[:0]
 			for _, r := range ranges {
 				lo, hi := r.lo-1, r.hi
 				if lo >= len(line) {
@@ -383,9 +416,9 @@ func cutCmd(c *Context, args []string) int {
 				if hi > len(line) {
 					hi = len(line)
 				}
-				out = append(out, line[lo:hi]...)
+				scratch = append(scratch, line[lo:hi]...)
 			}
-			lw.WriteLine(out)
+			lw.WriteLine(scratch)
 			return nil
 		})
 		if e != nil {
@@ -396,30 +429,51 @@ func cutCmd(c *Context, args []string) int {
 		if err != nil {
 			return c.Errorf(2, "cut: %v", err)
 		}
-		delim := "\t"
+		delim := byte('\t')
 		if v, ok := flags['d']; ok && v != "" {
-			delim = v[:1]
+			delim = v[0]
 		}
+		// Field boundaries are recomputed per line into a reused index
+		// slice; fields stay as subslices of the input line, so the loop
+		// allocates nothing on the steady state.
+		var bounds []int // field i spans line[bounds[2i]:bounds[2i+1]]
 		e := c.forEachLine(concatReaders(rs), func(line []byte) error {
-			s := string(line)
-			if !strings.Contains(s, delim) {
+			if bytes.IndexByte(line, delim) < 0 {
 				// Lines without the delimiter pass through unchanged.
 				lw.WriteLine(line)
 				return nil
 			}
-			fields := strings.Split(s, delim)
-			var picked []string
+			bounds = bounds[:0]
+			start := 0
+			for {
+				i := bytes.IndexByte(line[start:], delim)
+				if i < 0 {
+					bounds = append(bounds, start, len(line))
+					break
+				}
+				bounds = append(bounds, start, start+i)
+				start += i + 1
+			}
+			nfields := len(bounds) / 2
+			scratch = scratch[:0]
+			first := true
 			for _, r := range ranges {
 				lo, hi := r.lo-1, r.hi
-				if lo >= len(fields) {
+				if lo >= nfields {
 					continue
 				}
-				if hi > len(fields) {
-					hi = len(fields)
+				if hi > nfields {
+					hi = nfields
 				}
-				picked = append(picked, fields[lo:hi]...)
+				for f := lo; f < hi; f++ {
+					if !first {
+						scratch = append(scratch, delim)
+					}
+					first = false
+					scratch = append(scratch, line[bounds[2*f]:bounds[2*f+1]]...)
+				}
 			}
-			lw.WriteLine([]byte(strings.Join(picked, delim)))
+			lw.WriteLine(scratch)
 			return nil
 		})
 		if e != nil {
@@ -566,6 +620,7 @@ func sortCmd(c *Context, args []string) int {
 		return 0
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	if has(flags, 'm') {
 		// k-way merge of pre-sorted inputs.
 		if st := mergeSorted(c, rs, cfg, lw); st != 0 {
@@ -576,7 +631,7 @@ func sortCmd(c *Context, args []string) int {
 	}
 	var lines []string
 	for _, r := range rs {
-		ls, e := readLines(r)
+		ls, e := c.readLines(r)
 		if e != nil {
 			return c.Errorf(2, "sort: %v", e)
 		}
@@ -681,6 +736,7 @@ func MergeSortedStreams(c *Context, argv []string, ins []io.Reader) int {
 		return c.Errorf(2, "sort: MergeSortedStreams requires -m")
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	if st := mergeSorted(c, ins, cfg, lw); st != 0 {
 		return st
 	}
@@ -700,6 +756,7 @@ func uniqCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	var cur []byte
 	count := 0
 	flush := func() {
@@ -756,11 +813,11 @@ func commCmd(c *Context, args []string) int {
 	if rs == nil {
 		return st
 	}
-	a, e1 := readLines(rs[0])
+	a, e1 := c.readLines(rs[0])
 	if e1 != nil {
 		return c.Errorf(1, "comm: %v", e1)
 	}
-	b, e2 := readLines(rs[1])
+	b, e2 := c.readLines(rs[1])
 	if e2 != nil {
 		return c.Errorf(1, "comm: %v", e2)
 	}
@@ -775,6 +832,7 @@ func commCmd(c *Context, args []string) int {
 		indent3 += "\t"
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		switch {
@@ -811,7 +869,7 @@ func shufCmd(c *Context, args []string) int {
 	if rs == nil {
 		return st
 	}
-	lines, e := readLines(concatReaders(rs))
+	lines, e := c.readLines(concatReaders(rs))
 	if e != nil {
 		return c.Errorf(1, "shuf: %v", e)
 	}
@@ -844,6 +902,7 @@ func shufCmd(c *Context, args []string) int {
 		}
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	for _, line := range lines[:limit] {
 		lw.WriteLine([]byte(line))
 	}
@@ -985,6 +1044,7 @@ func odCmd(c *Context, args []string) int {
 		return c.Errorf(1, "od: %v", e)
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	for off := 0; off < len(data); off += 16 {
 		end := off + 16
 		if end > len(data) {
@@ -1028,11 +1088,11 @@ func joinCmd(c *Context, args []string) int {
 	if rs == nil {
 		return st
 	}
-	a, e1 := readLines(rs[0])
+	a, e1 := c.readLines(rs[0])
 	if e1 != nil {
 		return c.Errorf(1, "join: %v", e1)
 	}
-	b, e2 := readLines(rs[1])
+	b, e2 := c.readLines(rs[1])
 	if e2 != nil {
 		return c.Errorf(1, "join: %v", e2)
 	}
@@ -1051,6 +1111,7 @@ func joinCmd(c *Context, args []string) int {
 		return " " + strings.Join(f[1:], " ")
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		ka, kb := key(a[i]), key(b[j])

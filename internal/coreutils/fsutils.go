@@ -40,6 +40,7 @@ func lsCmd(c *Context, args []string) int {
 		operands = []string{"."}
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	status := 0
 	for _, op := range operands {
 		p := c.Lookup(op)
@@ -300,6 +301,7 @@ func findCmd(c *Context, args []string) int {
 		i++
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	status := 0
 	match := func(p string, fi vfs.FileInfo) bool {
 		if namePat != "" && !matchName(namePat, fi.Name) {
@@ -583,6 +585,7 @@ func envCmd(c *Context, args []string) int {
 		}
 		sort.Strings(lines)
 		lw := newLineWriter(c.Stdout)
+		defer lw.Release()
 		for _, l := range lines {
 			lw.WriteLine([]byte(l))
 		}
@@ -617,6 +620,7 @@ func duCmd(c *Context, args []string) int {
 		operands = []string{"."}
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	status := 0
 	for _, op := range operands {
 		var total int64

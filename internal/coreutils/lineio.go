@@ -4,24 +4,93 @@ import (
 	"bufio"
 	"io"
 	"strings"
+	"sync"
 )
 
 // maxLine is the largest line the utilities accept (16 MiB), far above the
 // POSIX LINE_MAX minimum.
 const maxLine = 16 << 20
 
+// blockSize is the unit of pooled line/IO buffers. One block backs a
+// bufio reader or writer, a pending-line accumulator, or an ownership-
+// handoff chunk; blocks recycle through blockPool instead of being
+// reallocated per utility invocation.
+const blockSize = 64 << 10
+
+// blockPool holds zero-length 64 KiB-capacity byte slices. Ownership rule:
+// whoever takes a block with getBlock owns it until it either hands the
+// block off (transferring ownership) or returns it with putBlock; a block
+// must never be read or written after being put back. Blocks that grew
+// past blockSize (pending lines longer than one block) are dropped rather
+// than pooled, so the pool never accumulates oversized buffers.
+var blockPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, blockSize)
+		return &b
+	},
+}
+
+// getBlock takes an empty pooled block.
+func getBlock() []byte {
+	return (*blockPool.Get().(*[]byte))[:0]
+}
+
+// putBlock returns a block to the pool. Safe to call with a grown or
+// foreign slice — only standard-capacity blocks are recycled.
+func putBlock(b []byte) {
+	if cap(b) != blockSize {
+		return
+	}
+	b = b[:0]
+	blockPool.Put(&b)
+}
+
+// readerPool recycles the 64 KiB bufio.Reader each line-oriented utility
+// needs, so a pipeline of N filters does not allocate N fresh buffers per
+// run.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, blockSize) },
+}
+
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the underlying reader reference
+	readerPool.Put(br)
+}
+
+// writerPool does the same for output buffers.
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, blockSize) },
+}
+
 // forEachLine calls fn for every line of r, without the trailing newline.
 // A final line with no newline is still delivered. fn returning io.EOF
-// stops iteration early without error (used by head).
+// stops iteration early without error (used by head). Lines are only
+// valid for the duration of the callback: the backing buffers return to
+// the shared pool when iteration finishes.
 func forEachLine(r io.Reader, fn func(line []byte) error) error {
-	br := bufio.NewReaderSize(r, 64<<10)
-	var pending []byte
+	br := getReader(r)
+	pending := getBlock()
+	defer func() {
+		putReader(br)
+		putBlock(pending)
+	}()
 	for {
 		chunk, err := br.ReadSlice('\n')
 		if len(chunk) > 0 {
 			if chunk[len(chunk)-1] == '\n' {
 				line := chunk[:len(chunk)-1]
 				if len(pending) > 0 {
+					// A newline-terminated continuation is subject to the
+					// same limit as an unterminated one.
+					if len(pending)+len(line) > maxLine {
+						return errLineTooLong
+					}
 					pending = append(pending, line...)
 					line = pending
 				}
@@ -71,14 +140,42 @@ func readLines(r io.Reader) ([]string, error) {
 	return lines, err
 }
 
-// lineWriter buffers writes of whole lines for throughput.
+// lineWriter buffers writes of whole lines for throughput. The bufio
+// buffer comes from writerPool; call Release (after the final Flush) to
+// recycle it.
 type lineWriter struct {
 	w  *bufio.Writer
 	ok bool // false after a write error (downstream closed)
 }
 
 func newLineWriter(w io.Writer) *lineWriter {
-	return &lineWriter{w: bufio.NewWriterSize(w, 64<<10), ok: true}
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return &lineWriter{w: bw, ok: true}
+}
+
+// Release flushes and returns the buffer to the pool. The lineWriter must
+// not be used afterwards. Returns false if the flush failed.
+func (lw *lineWriter) Release() bool {
+	ok := lw.Flush()
+	lw.w.Reset(io.Discard) // drop the downstream writer reference
+	writerPool.Put(lw.w)
+	lw.w = nil
+	lw.ok = false
+	return ok
+}
+
+// Write writes raw bytes (no newline added), satisfying io.Writer so
+// filters can emit transformed chunks without a string conversion.
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	if !lw.ok {
+		return 0, io.ErrClosedPipe
+	}
+	n, err := lw.w.Write(p)
+	if err != nil {
+		lw.ok = false
+	}
+	return n, err
 }
 
 // WriteLine writes line + "\n". After the first error it becomes a no-op

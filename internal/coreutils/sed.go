@@ -5,6 +5,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 func init() {
@@ -67,11 +68,12 @@ func sedCmd(c *Context, args []string) int {
 		return st
 	}
 	// $-addresses need to know the last line, so hold one line of delay.
-	lines, rerr := readLines(concatReaders(rs))
+	lines, rerr := c.readLines(concatReaders(rs))
 	if rerr != nil {
 		return c.Errorf(2, "sed: %v", rerr)
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	quit := false
 	for lineNo, text := range lines {
 		isLast := lineNo == len(lines)-1
@@ -130,8 +132,7 @@ type sedCommand struct {
 	global   bool
 	printSub bool
 	nth      int
-	yFrom    string
-	yTo      string
+	yMap     map[rune]rune
 }
 
 func (sc *sedCommand) addrMatch(lineNo int, text string, isLast bool) bool {
@@ -147,16 +148,27 @@ func (sc *sedCommand) addrMatch(lineNo int, text string, isLast bool) bool {
 	return true
 }
 
-// transliterate applies a y/from/to/ mapping.
+// transliterate applies a y/from/to/ mapping per character, not per byte:
+// POSIX defines the sets in characters, so multibyte UTF-8 text maps
+// whole runes (y/ä/ö/ must not splice the bytes of ä). Bytes that are
+// not valid UTF-8 pass through unchanged rather than being rewritten as
+// replacement characters.
 func (sc *sedCommand) transliterate(text string) string {
 	var b strings.Builder
-	for i := 0; i < len(text); i++ {
-		idx := strings.IndexByte(sc.yFrom, text[i])
-		if idx >= 0 {
-			b.WriteByte(sc.yTo[idx])
-		} else {
+	b.Grow(len(text))
+	for i := 0; i < len(text); {
+		r, size := utf8.DecodeRuneInString(text[i:])
+		if r == utf8.RuneError && size == 1 {
 			b.WriteByte(text[i])
+			i++
+			continue
 		}
+		if to, ok := sc.yMap[r]; ok {
+			b.WriteRune(to)
+		} else {
+			b.WriteString(text[i : i+size])
+		}
+		i += size
 	}
 	return b.String()
 }
@@ -285,10 +297,18 @@ func parseSedCommand(src string) (sedCommand, error) {
 			return cmd, fmt.Errorf("unterminated y command %q", src)
 		}
 		to := unescapeSed(rest[:end2])
-		if len(from) != len(to) {
+		// POSIX measures the sets in characters, not bytes: y/ä/x/ is
+		// legal even though ä is two bytes.
+		fromRunes, toRunes := []rune(from), []rune(to)
+		if len(fromRunes) != len(toRunes) {
 			return cmd, fmt.Errorf("y: transliteration sets differ in length")
 		}
-		cmd.yFrom, cmd.yTo = from, to
+		cmd.yMap = make(map[rune]rune, len(fromRunes))
+		for i, r := range fromRunes {
+			if _, dup := cmd.yMap[r]; !dup {
+				cmd.yMap[r] = toRunes[i]
+			}
+		}
 		if rest[end2+1:] != "" {
 			return cmd, fmt.Errorf("trailing text after y in %q", src)
 		}

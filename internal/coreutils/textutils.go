@@ -1,6 +1,7 @@
 package coreutils
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -38,6 +39,7 @@ func catCmd(c *Context, args []string) int {
 	}
 	if has(flags, 'n') {
 		lw := newLineWriter(c.Stdout)
+		defer lw.Release()
 		n := 0
 		for _, r := range rs {
 			e := c.forEachLine(r, func(line []byte) error {
@@ -87,6 +89,7 @@ func headCmd(c *Context, args []string) int {
 		}
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	var seen int64
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		if seen >= n {
@@ -129,6 +132,7 @@ func tailCmd(c *Context, args []string) int {
 		return c.Errorf(1, "tail: %v", e)
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	for _, line := range keep.lines {
 		lw.WriteLine(line)
 	}
@@ -331,6 +335,7 @@ func seqCmd(c *Context, args []string) int {
 		return c.Errorf(2, "seq: increment must not be zero")
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	if incr > 0 {
 		for n := first; n <= last; n += incr {
 			if !lw.WriteLine([]byte(strconv.FormatInt(n, 10))) || c.Cancelled() {
@@ -359,6 +364,7 @@ func revCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		rev := make([]byte, len(line))
 		for i, b := range line {
@@ -392,6 +398,7 @@ func foldCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		for len(line) > width {
 			lw.WriteLine(line[:width])
@@ -418,6 +425,7 @@ func nlCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	n := 0
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		if len(line) == 0 {
@@ -453,7 +461,7 @@ func pasteCmd(c *Context, args []string) int {
 	}
 	var columns [][]string
 	for _, r := range rs {
-		lines, e := readLines(r)
+		lines, e := c.readLines(r)
 		if e != nil {
 			return c.Errorf(1, "paste: %v", e)
 		}
@@ -466,6 +474,7 @@ func pasteCmd(c *Context, args []string) int {
 		}
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	for i := 0; i < maxLen; i++ {
 		parts := make([]string, len(columns))
 		for j, col := range columns {
@@ -486,6 +495,7 @@ func yesCmd(c *Context, args []string) int {
 		word = strings.Join(args[1:], " ")
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	for lw.WriteLine([]byte(word)) {
 		if !lw.Flush() || c.Cancelled() {
 			break
@@ -503,22 +513,35 @@ func (n *wcCounts) add(m wcCounts) {
 	n.chars += m.chars
 }
 
-func wcTally(r io.Reader, buf []byte) (wcCounts, error) {
+func wcTally(r io.Reader, buf []byte, needWords bool) (wcCounts, error) {
 	var n wcCounts
 	inWord := false
 	for {
 		k, e := r.Read(buf)
-		for _, b := range buf[:k] {
-			n.chars++
-			if b == '\n' {
+		chunk := buf[:k]
+		n.chars += int64(k)
+		if !needWords {
+			// Newline-only scan: let bytes.IndexByte skip whole blocks.
+			for {
+				i := bytes.IndexByte(chunk, '\n')
+				if i < 0 {
+					break
+				}
 				n.lines++
+				chunk = chunk[i+1:]
 			}
-			isSpace := b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
-			if isSpace {
-				inWord = false
-			} else if !inWord {
-				inWord = true
-				n.words++
+		} else {
+			for _, b := range chunk {
+				if b == '\n' {
+					n.lines++
+				}
+				isSpace := b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
+				if isSpace {
+					inWord = false
+				} else if !inWord {
+					inWord = true
+					n.words++
+				}
 			}
 		}
 		if e == io.EOF {
@@ -564,10 +587,11 @@ func wcCmd(c *Context, args []string) int {
 		}
 		fmt.Fprintln(c.Stdout, strings.Join(parts, " "))
 	}
-	buf := make([]byte, 64<<10)
+	buf := getBlock()[:blockSize]
+	defer putBlock(buf)
 	var total wcCounts
 	for i, r := range rs {
-		n, e := wcTally(r, buf)
+		n, e := wcTally(r, buf, showW)
 		if e != nil {
 			return c.Errorf(1, "wc: %v", e)
 		}

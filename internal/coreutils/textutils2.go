@@ -21,11 +21,12 @@ func tacCmd(c *Context, args []string) int {
 	if rs == nil {
 		return st
 	}
-	lines, e := readLines(concatReaders(rs))
+	lines, e := c.readLines(concatReaders(rs))
 	if e != nil {
 		return c.Errorf(1, "tac: %v", e)
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	for i := len(lines) - 1; i >= 0; i-- {
 		lw.WriteLine([]byte(lines[i]))
 	}
@@ -51,6 +52,7 @@ func expandCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		var b strings.Builder
 		col := 0
@@ -92,6 +94,7 @@ func unexpandCmd(c *Context, args []string) int {
 		return st
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 		spaces := 0
 		for spaces < len(line) && line[spaces] == ' ' {
@@ -156,6 +159,7 @@ func tsortCmd(c *Context, args []string) int {
 		}
 	}
 	lw := newLineWriter(c.Stdout)
+	defer lw.Release()
 	emitted := 0
 	for emitted < len(order) {
 		progressed := false

@@ -3,12 +3,14 @@ package exec
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 
 	"jash/internal/dfg"
 	"jash/internal/interp"
 	"jash/internal/rewrite"
+	"jash/internal/spec"
 	"jash/internal/vfs"
 	"jash/internal/workload"
 )
@@ -243,4 +245,147 @@ func genNumeric() string {
 		fmt.Fprintf(&b, "%d %d\n", rng.Intn(100), rng.Intn(1000))
 	}
 	return b.String()
+}
+
+// TestAggSumMixedColumns pins the strict sum-merge contract: lanes that
+// emit anything non-numeric abort the plan before a single sink byte
+// escapes (so the caller falls back to the interpreter and the two paths
+// agree by construction), while all-numeric lanes still sum per column.
+func TestAggSumMixedColumns(t *testing.T) {
+	sum := func(ins []io.Reader) (string, int, error) {
+		var out bytes.Buffer
+		var aborted error
+		env := &Env{abort: func(err error) {
+			if aborted == nil {
+				aborted = err
+			}
+		}}
+		st := runMerge(&dfg.Node{Kind: dfg.KindMerge, Agg: spec.AggSum}, ins, &out, env)
+		return out.String(), st, aborted
+	}
+
+	// All-numeric lanes: columns sum across lanes.
+	got, st, aborted := sum([]io.Reader{
+		strings.NewReader("1 10\n2 20\n"),
+		strings.NewReader("3 30\n"),
+	})
+	if st != 0 || aborted != nil || got != "6 60\n" {
+		t.Fatalf("numeric lanes: out=%q st=%d abort=%v", got, st, aborted)
+	}
+
+	// A garbage field anywhere aborts the plan with zero output.
+	for _, lanes := range [][]string{
+		{"1 2\n", "3 x\n"},
+		{"12.5\n"},         // floats are not the integer rows wc-style lanes emit
+		{"5\n", "total\n"}, // a stray wc "total" row must not be dropped silently
+	} {
+		ins := make([]io.Reader, len(lanes))
+		for i, l := range lanes {
+			ins[i] = strings.NewReader(l)
+		}
+		got, st, aborted := sum(ins)
+		if st == 0 {
+			t.Fatalf("lanes %q: want non-zero status, got output %q", lanes, got)
+		}
+		if aborted == nil {
+			t.Fatalf("lanes %q: plan must abort so the interpreter fallback runs", lanes)
+		}
+		if got != "" {
+			t.Fatalf("lanes %q: %q escaped an aborted merge", lanes, got)
+		}
+	}
+}
+
+// TestDifferentialMaxLineBoundary holds the interpreter and the dataflow
+// plans to identical behavior at the 16 MiB line limit the coreutils
+// enforce: a line at the limit passes through both paths byte-identically
+// (through the pooled line buffers), and a line just above it fails both
+// paths with a clean diagnostic — never truncated or partial output.
+func TestDifferentialMaxLineBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16 MiB lines")
+	}
+	const maxLine = 16 << 20 // mirrors internal/coreutils
+	for _, tc := range []struct {
+		name    string
+		n       int
+		wantErr bool
+	}{
+		{"below", maxLine - 1, false},
+		{"at", maxLine, false},
+		{"above", maxLine + 1, true},
+	} {
+		line := strings.Repeat("a", tc.n)
+		corpus := "start a line\n" + line + "\nlast a line\n"
+		fs := vfs.New()
+		fs.WriteFile("/in", []byte(corpus))
+		script := "cat /in | grep a\n"
+		argvs := [][]string{{"grep", "a"}}
+
+		in := interp.New(fs)
+		var interpOut, interpErr bytes.Buffer
+		in.Stdout = &interpOut
+		in.Stderr = &interpErr
+		interpSt, err := in.RunScript(script)
+		if err != nil {
+			t.Fatalf("%s: interp: %v", tc.name, err)
+		}
+
+		g, gerr := dfg.FromPipeline(argvs, lib, dfg.Binding{StdinFile: "/in"})
+		if gerr != nil {
+			t.Fatalf("%s: translate: %v", tc.name, gerr)
+		}
+		var seqOut, seqErr bytes.Buffer
+		seqSt, rerr := Run(g, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+			Stdout: &seqOut, Stderr: &seqErr})
+		if rerr != nil {
+			t.Fatalf("%s: exec: %v", tc.name, rerr)
+		}
+
+		if interpOut.String() != seqOut.String() {
+			t.Fatalf("%s: stdout diverges (%d vs %d bytes)", tc.name, interpOut.Len(), seqOut.Len())
+		}
+		if interpSt != seqSt {
+			t.Fatalf("%s: status diverges: interp=%d exec=%d", tc.name, interpSt, seqSt)
+		}
+		if tc.wantErr {
+			if interpSt == 0 {
+				t.Fatalf("%s: over-limit line must fail, got status 0", tc.name)
+			}
+			for which, errs := range map[string]string{"interp": interpErr.String(), "exec": seqErr.String()} {
+				if !strings.Contains(errs, "line too long") {
+					t.Fatalf("%s: %s stderr %q lacks the line-too-long diagnostic", tc.name, which, errs)
+				}
+			}
+			if interpOut.Len() != 0 && !strings.HasSuffix(interpOut.String(), "\n") {
+				t.Fatalf("%s: truncated partial output escaped", tc.name)
+			}
+		} else {
+			if interpSt != 0 {
+				t.Fatalf("%s: status %d, stderr %q", tc.name, interpSt, interpErr.String())
+			}
+			if interpOut.String() != corpus {
+				t.Fatalf("%s: grep dropped bytes (%d vs %d)", tc.name, interpOut.Len(), len(corpus))
+			}
+		}
+
+		// The parallel plan must agree wherever one exists.
+		par, perr := rewrite.Parallelize(g, rewrite.Options{Width: 2})
+		if perr == nil {
+			var parOut bytes.Buffer
+			parSt, rerr := Run(par, &Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""),
+				Stdout: &parOut, Stderr: &bytes.Buffer{}})
+			if rerr == nil {
+				if parOut.String() != seqOut.String() {
+					t.Fatalf("%s: parallel stdout diverges (%d vs %d bytes)",
+						tc.name, parOut.Len(), seqOut.Len())
+				}
+				if parSt != seqSt {
+					t.Fatalf("%s: parallel status %d vs %d", tc.name, parSt, seqSt)
+				}
+			} else if !tc.wantErr {
+				t.Fatalf("%s: parallel run failed: %v", tc.name, rerr)
+			}
+		}
+	}
 }

@@ -79,6 +79,13 @@ type Env struct {
 	// input that cannot be materialized), as opposed to ordinary non-zero
 	// statuses, which never abort.
 	abort func(error)
+	// laneStrict marks a command running inside a split lane. Lane
+	// utilities must abort the plan on a line-length violation: the lane's
+	// non-zero status is otherwise discarded (only the sink-feeding node's
+	// status is observed), so sibling lanes would keep producing output
+	// the sequential run never emits. Sequential plans propagate the
+	// failing status to the sink naturally and stay abort-free.
+	laneStrict bool
 }
 
 var tmpSeq atomic.Int64
@@ -566,6 +573,28 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 		statuses[id] = &st
 		mu.Unlock()
 	}
+	// laneNodes marks every node downstream of a split: commands there run
+	// lane-strict (see Env.laneStrict) so a line-limit violation tears the
+	// plan down instead of vanishing with the lane's discarded status.
+	laneNodes := map[int]bool{}
+	{
+		queue := []int{}
+		for _, n := range order {
+			if n.Kind == dfg.KindSplit {
+				queue = append(queue, n.ID)
+			}
+		}
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Out(id) {
+				if !laneNodes[e.To] {
+					laneNodes[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for _, n := range order {
 		wg.Add(1)
@@ -703,7 +732,13 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 				case dfg.KindMerge:
 					return runMerge(n, inReaders, outWriters[0], env)
 				case dfg.KindCommand:
-					return runCommand(n, inReaders, outWriters[0], env)
+					cmdEnv := env
+					if laneNodes[n.ID] {
+						le := *env
+						le.laneStrict = true
+						cmdEnv = &le
+					}
+					return runCommand(n, inReaders, outWriters[0], cmdEnv)
 				}
 				return 0
 			}
@@ -792,12 +827,63 @@ func splitLaneTarget(g *dfg.Graph, n *dfg.Node, env *Env) int64 {
 	return cost.SplitLaneFallbackBytes
 }
 
-// splitLane tracks one output lane of a streaming split. The small bufio
-// layer batches per-line writes into pipe-sized ones.
+// splitLane tracks one output lane of a streaming split. Lines accumulate
+// into a pooled block that is handed to the lane's pipe wholesale
+// (ownership transfer, no copy) when the writer supports it.
 type splitLane struct {
-	bw    *bufio.Writer
+	w     io.Writer
+	ow    ownedWriter // non-nil when w accepts block ownership
+	blk   []byte      // pooled accumulation block
 	close func()
 	dead  bool
+}
+
+func newSplitLane(w io.Writer, closeLane func()) *splitLane {
+	l := &splitLane{w: w, blk: getPipeBlock(), close: closeLane}
+	if ow, ok := w.(ownedWriter); ok {
+		l.ow = ow
+	}
+	return l
+}
+
+// write batches p into the lane's block, flushing full blocks downstream.
+func (l *splitLane) write(p []byte) error {
+	for len(p) > 0 {
+		if free := cap(l.blk) - len(l.blk); free >= len(p) {
+			l.blk = append(l.blk, p...)
+			return nil
+		} else {
+			l.blk = append(l.blk, p[:free]...)
+			p = p[free:]
+			if err := l.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flush pushes the accumulated block downstream. On the ownership path
+// the block is handed off and replaced with a fresh pooled one.
+func (l *splitLane) flush() error {
+	if len(l.blk) == 0 {
+		return nil
+	}
+	if l.ow != nil {
+		blk := l.blk
+		l.blk = getPipeBlock()
+		_, err := l.ow.WriteOwned(blk)
+		return err
+	}
+	_, err := l.w.Write(l.blk)
+	l.blk = l.blk[:0]
+	return err
+}
+
+// release returns the lane's accumulation block to the pool.
+func (l *splitLane) release() {
+	putPipeBlock(l.blk)
+	l.blk = nil
 }
 
 // runSplit cuts the input into line-aligned chunks and forwards them to
@@ -813,8 +899,13 @@ func runSplit(n *dfg.Node, in io.Reader, outs []io.Writer, closeLane []func(), l
 	br := bufio.NewReaderSize(in, cost.SplitChunkBytes)
 	lanes := make([]*splitLane, len(outs))
 	for i := range outs {
-		lanes[i] = &splitLane{bw: bufio.NewWriterSize(outs[i], 16<<10), close: closeLane[i]}
+		lanes[i] = newSplitLane(outs[i], closeLane[i])
 	}
+	defer func() {
+		for _, l := range lanes {
+			l.release()
+		}
+	}()
 	lane, last := 0, len(outs)-1
 	deadCount := 0
 	var laneBytes int64
@@ -823,7 +914,7 @@ func runSplit(n *dfg.Node, in io.Reader, outs []io.Writer, closeLane []func(), l
 		if len(chunk) > 0 {
 			l := lanes[lane]
 			if !l.dead {
-				if _, werr := l.bw.Write(chunk); werr != nil {
+				if werr := l.write(chunk); werr != nil {
 					l.dead = true
 					deadCount++
 					if deadCount == len(outs) {
@@ -840,7 +931,7 @@ func runSplit(n *dfg.Node, in io.Reader, outs []io.Writer, closeLane []func(), l
 					laneBytes = 0
 				} else if lane < last && laneBytes >= laneTarget {
 					if !l.dead {
-						l.bw.Flush()
+						l.flush()
 					}
 					l.close()
 					lane++
@@ -853,7 +944,7 @@ func runSplit(n *dfg.Node, in io.Reader, outs []io.Writer, closeLane []func(), l
 		case io.EOF:
 			for _, l := range lanes {
 				if !l.dead {
-					l.bw.Flush()
+					l.flush()
 				}
 			}
 			return 0
@@ -920,7 +1011,12 @@ func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 		return coreutils.MergeSortedStreams(ctx, n.Argv, ins)
 	case spec.AggSum:
 		// Sum whitespace-separated numeric columns across lanes, scanning
-		// each lane line by line.
+		// each lane line by line. A non-numeric field means the lanes did
+		// not produce the bare numeric rows this aggregation was planned
+		// for; silently skipping it would commit an answer the sequential
+		// interpreter would never produce. Abort the plan instead — no
+		// sink byte has escaped yet, so the caller falls back to the
+		// interpreter and the two paths agree by construction.
 		var sums []int64
 		for _, r := range ins {
 			sc := bufio.NewScanner(r)
@@ -929,7 +1025,10 @@ func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 				for i, f := range strings.Fields(sc.Text()) {
 					v, err := strconv.ParseInt(f, 10, 64)
 					if err != nil {
-						continue
+						if env.abort != nil {
+							env.abort(fmt.Errorf("sum merge: non-numeric field %q in lane output", f))
+						}
+						return 1
 					}
 					for len(sums) <= i {
 						sums = append(sums, 0)
@@ -1022,6 +1121,9 @@ func dispatch(argv []string, stdin io.Reader, out io.Writer, env *Env) int {
 		Stderr: errWriter(env),
 		Getenv: env.Getenv,
 		Cancel: env.cancel,
+	}
+	if env.laneStrict {
+		ctx.Abort = env.abort
 	}
 	return fn(ctx, argv)
 }

@@ -86,6 +86,63 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// onlyReader hides any WriteTo on the wrapped reader so delegation chains
+// cannot ping-pong between WriteTo and ReadFrom.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// WriteTo delegates to the wrapped reader's zero-copy path (bounded-pipe
+// chunk handoff) when it has one, counting the bytes exactly once. A
+// counting peer on the destination side is unwrapped first so that a
+// pipe-to-pipe edge still resolves to wholesale chunk handoff even with
+// both metric wrappers in between.
+func (c *countingReader) WriteTo(w io.Writer) (int64, error) {
+	dst := w
+	var dstCtr *atomic.Int64
+	if cw, ok := w.(*countingWriter); ok {
+		dst = cw.w
+		dstCtr = cw.n
+	}
+	count := func(n int64) {
+		c.n.Add(n)
+		if dstCtr != nil {
+			dstCtr.Add(n)
+		}
+	}
+	if wt, ok := c.r.(io.WriterTo); ok {
+		n, err := wt.WriteTo(dst)
+		count(n)
+		return n, err
+	}
+	if rf, ok := dst.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(onlyReader{c.r})
+		count(n)
+		return n, err
+	}
+	// Fall back to a pooled-block copy loop; io.Copy would allocate.
+	blk := getPipeBlock()[:pipeBlockSize]
+	defer putPipeBlock(blk)
+	var total int64
+	for {
+		n, err := c.r.Read(blk)
+		count(int64(n))
+		if n > 0 {
+			k, werr := dst.Write(blk[:n])
+			total += int64(k)
+			if werr != nil {
+				return total, werr
+			}
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
 // countingWriter counts bytes a node produced.
 type countingWriter struct {
 	w io.Writer
@@ -96,4 +153,49 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n.Add(int64(n))
 	return n, err
+}
+
+// WriteOwned forwards an ownership-transferring write to the wrapped
+// writer when it supports one (a bounded-pipe end), else falls back to a
+// plain write and recycles the block itself.
+func (c *countingWriter) WriteOwned(p []byte) (int, error) {
+	if ow, ok := c.w.(ownedWriter); ok {
+		n, err := ow.WriteOwned(p)
+		c.n.Add(int64(n))
+		return n, err
+	}
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	putPipeBlock(p)
+	return n, err
+}
+
+// ReadFrom delegates to the wrapped writer's zero-copy intake (pooled
+// blocks straight into a bounded pipe) when it has one.
+func (c *countingWriter) ReadFrom(r io.Reader) (int64, error) {
+	if rf, ok := c.w.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(r)
+		c.n.Add(n)
+		return n, err
+	}
+	blk := getPipeBlock()[:pipeBlockSize]
+	defer putPipeBlock(blk)
+	var total int64
+	for {
+		n, err := r.Read(blk)
+		if n > 0 {
+			k, werr := c.w.Write(blk[:n])
+			c.n.Add(int64(k))
+			total += int64(k)
+			if werr != nil {
+				return total, werr
+			}
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
 }

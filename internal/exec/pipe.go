@@ -5,24 +5,70 @@ import (
 	"sync"
 )
 
+// pipeBlockSize is the unit of pooled pipe chunks, matching the
+// coreutils line-buffer block size so blocks hand off across layers
+// without re-slicing.
+const pipeBlockSize = 64 << 10
+
+// pipeBlockPool recycles chunk blocks across all pipes. Ownership rule:
+// a block obtained from getPipeBlock is owned by exactly one party at a
+// time; passing it to WriteOwned transfers ownership to the pipe, which
+// recycles it once the reader consumes it. Only standard-capacity blocks
+// are recycled; foreign or re-sliced blocks fall to the GC.
+var pipeBlockPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, pipeBlockSize)
+		return &b
+	},
+}
+
+func getPipeBlock() []byte {
+	return (*pipeBlockPool.Get().(*[]byte))[:0]
+}
+
+func putPipeBlock(b []byte) {
+	if cap(b) != pipeBlockSize {
+		return
+	}
+	b = b[:0]
+	pipeBlockPool.Put(&b)
+}
+
+// ownedWriter is implemented by writers that accept ownership of a
+// pooled block instead of copying it (bpWriter, and countingWriter by
+// delegation).
+type ownedWriter interface {
+	WriteOwned([]byte) (int, error)
+}
+
 // boundedPipe is a fixed-capacity, backpressured byte pipe: the edge
 // primitive of the streaming executor. Unlike io.Pipe it buffers up to
-// cap(buf) bytes, so producer and consumer overlap without either side
-// being able to accumulate unbounded data — a writer that outruns its
-// reader blocks once the ring is full. It tracks the high-water mark of
-// resident bytes for the per-node runtime counters.
+// its capacity in bytes, so producer and consumer overlap without either
+// side being able to accumulate unbounded data — a writer that outruns
+// its reader blocks once the pipe is full. It tracks the high-water mark
+// of resident bytes for the per-node runtime counters.
+//
+// Internally the pipe is a queue of pooled chunks rather than a ring
+// buffer: ordinary writes copy into pooled blocks (coalescing small
+// writes into the tail block), while WriteOwned enqueues a caller-owned
+// block with no copy at all. Chunks recycle to pipeBlockPool as the
+// reader consumes them. An owned chunk is admitted whole once the pipe
+// has any free space, so residency can transiently exceed the capacity
+// by less than one chunk.
 //
 // Close semantics mirror io.Pipe: closing the write end delivers EOF to
 // the reader after the buffered bytes drain; closing the read end makes
 // every subsequent (or blocked) write fail with io.ErrClosedPipe, which
 // is how early-exiting consumers (head) terminate their upstreams.
 type boundedPipe struct {
-	mu   sync.Mutex
-	cond sync.Cond
-	buf  []byte // ring buffer
-	r, w int    // read/write cursors
-	n    int    // bytes resident
-	peak int    // high-water mark of n
+	mu       sync.Mutex
+	cond     sync.Cond
+	chunks   [][]byte // FIFO of chunks; chunks[0][rOff:] is next to read
+	rOff     int      // read offset into chunks[0]
+	tailOwn  bool     // tail chunk was allocated here and may be extended
+	n        int      // bytes resident
+	capacity int
+	peak     int // high-water mark of n
 
 	werr error // non-nil once the write end closed (io.EOF = clean)
 	rerr error // non-nil once the read end closed
@@ -33,9 +79,46 @@ func newBoundedPipe(capacity int) (*bpReader, *bpWriter) {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	p := &boundedPipe{buf: make([]byte, capacity)}
+	p := &boundedPipe{capacity: capacity}
 	p.cond.L = &p.mu
 	return &bpReader{p}, &bpWriter{p}
+}
+
+// pushLocked appends a chunk the pipe owns, updating residency counters.
+func (p *boundedPipe) pushLocked(blk []byte, own bool) {
+	p.chunks = append(p.chunks, blk)
+	p.tailOwn = own
+	p.n += len(blk)
+	if p.n > p.peak {
+		p.peak = p.n
+	}
+}
+
+// popHeadLocked retires the fully-consumed head chunk and recycles it.
+func (p *boundedPipe) popHeadLocked() {
+	head := p.chunks[0]
+	copy(p.chunks, p.chunks[1:])
+	p.chunks[len(p.chunks)-1] = nil
+	p.chunks = p.chunks[:len(p.chunks)-1]
+	p.rOff = 0
+	if len(p.chunks) == 0 {
+		// The tail is gone; a writer must not extend a recycled block.
+		p.tailOwn = false
+	}
+	putPipeBlock(head)
+}
+
+// discardLocked drops all resident chunks (read end hung up or the plan
+// was torn down) and recycles their blocks.
+func (p *boundedPipe) discardLocked() {
+	for i, c := range p.chunks {
+		p.chunks[i] = nil
+		putPipeBlock(c)
+	}
+	p.chunks = p.chunks[:0]
+	p.rOff = 0
+	p.n = 0
+	p.tailOwn = false
 }
 
 func (p *boundedPipe) read(b []byte) (int, error) {
@@ -52,17 +135,14 @@ func (p *boundedPipe) read(b []byte) (int, error) {
 	}
 	total := 0
 	for total < len(b) && p.n > 0 {
-		chunk := len(p.buf) - p.r
-		if chunk > p.n {
-			chunk = p.n
+		head := p.chunks[0]
+		k := copy(b[total:], head[p.rOff:])
+		p.rOff += k
+		p.n -= k
+		total += k
+		if p.rOff == len(head) {
+			p.popHeadLocked()
 		}
-		if chunk > len(b)-total {
-			chunk = len(b) - total
-		}
-		copy(b[total:], p.buf[p.r:p.r+chunk])
-		p.r = (p.r + chunk) % len(p.buf)
-		p.n -= chunk
-		total += chunk
 	}
 	p.cond.Broadcast()
 	return total, nil
@@ -79,27 +159,128 @@ func (p *boundedPipe) write(b []byte) (int, error) {
 		if p.werr != nil {
 			return total, io.ErrClosedPipe
 		}
-		if p.n == len(p.buf) {
+		if p.n >= p.capacity {
 			p.cond.Wait()
 			continue
 		}
-		chunk := len(p.buf) - p.w
-		if free := len(p.buf) - p.n; chunk > free {
-			chunk = free
+		room := p.capacity - p.n
+		want := len(b) - total
+		if want > room {
+			want = room
 		}
-		if chunk > len(b)-total {
-			chunk = len(b) - total
+		// Coalesce into the tail block when it has spare capacity, so
+		// many small writes fill one block instead of queuing fragments.
+		if p.tailOwn {
+			tail := p.chunks[len(p.chunks)-1]
+			if spare := cap(tail) - len(tail); spare > 0 {
+				k := want
+				if k > spare {
+					k = spare
+				}
+				p.chunks[len(p.chunks)-1] = append(tail, b[total:total+k]...)
+				p.n += k
+				if p.n > p.peak {
+					p.peak = p.n
+				}
+				total += k
+				p.cond.Broadcast()
+				continue
+			}
 		}
-		copy(p.buf[p.w:p.w+chunk], b[total:total+chunk])
-		p.w = (p.w + chunk) % len(p.buf)
-		p.n += chunk
-		if p.n > p.peak {
-			p.peak = p.n
+		if want > pipeBlockSize {
+			want = pipeBlockSize
 		}
-		total += chunk
+		blk := getPipeBlock()[:want]
+		copy(blk, b[total:total+want])
+		p.pushLocked(blk, true)
+		total += want
 		p.cond.Broadcast()
 	}
 	return total, nil
+}
+
+// writeOwned enqueues b without copying; ownership of b transfers to the
+// pipe. Standard-size blocks recycle once consumed (or on failure).
+func (p *boundedPipe) writeOwned(b []byte) (int, error) {
+	if len(b) == 0 {
+		putPipeBlock(b)
+		return 0, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.rerr != nil {
+			putPipeBlock(b)
+			return 0, p.rerr
+		}
+		if p.werr != nil {
+			putPipeBlock(b)
+			return 0, io.ErrClosedPipe
+		}
+		if p.n < p.capacity {
+			break
+		}
+		p.cond.Wait()
+	}
+	p.pushLocked(b, false)
+	p.cond.Broadcast()
+	return len(b), nil
+}
+
+// takeChunk pops the head chunk whole, transferring ownership to the
+// caller: data is the unread portion, base the underlying block to
+// recycle after use. Blocks until data is available or the pipe ends.
+func (p *boundedPipe) takeChunk() (data, base []byte, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == 0 {
+		if p.rerr != nil {
+			return nil, nil, p.rerr
+		}
+		if p.werr != nil {
+			return nil, nil, p.werr
+		}
+		p.cond.Wait()
+	}
+	head := p.chunks[0]
+	data = head[p.rOff:]
+	copy(p.chunks, p.chunks[1:])
+	p.chunks[len(p.chunks)-1] = nil
+	p.chunks = p.chunks[:len(p.chunks)-1]
+	p.rOff = 0
+	if len(p.chunks) == 0 {
+		p.tailOwn = false
+	}
+	p.n -= len(data)
+	p.cond.Broadcast()
+	return data, head, nil
+}
+
+// handoffTo moves chunks from src to dst with no byte copying: the
+// zero-copy fast path for pipe-to-pipe edges (io.Copy between two
+// bounded-pipe ends resolves here via WriteTo/ReadFrom).
+func (src *boundedPipe) handoffTo(dst *boundedPipe) (int64, error) {
+	var total int64
+	for {
+		data, base, err := src.takeChunk()
+		if err != nil {
+			if err == io.EOF {
+				return total, nil
+			}
+			return total, err
+		}
+		var owned []byte
+		if len(data) == len(base) {
+			owned = base // full block: dst recycles it after consumption
+		} else {
+			owned = data // partially-read block: dst drops it to the GC
+		}
+		n, werr := dst.writeOwned(owned)
+		total += int64(n)
+		if werr != nil {
+			return total, werr
+		}
+	}
 }
 
 func (p *boundedPipe) closeWrite(err error) {
@@ -121,7 +302,7 @@ func (p *boundedPipe) closeRead() {
 	}
 	// Discard resident bytes: nobody will read them, and a blocked
 	// writer must observe the hangup immediately.
-	p.n = 0
+	p.discardLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -144,7 +325,7 @@ func (p *boundedPipe) breakPipe(err error) {
 		// downstream keep consuming: teardown wins.
 		p.werr = err
 	}
-	p.n = 0
+	p.discardLocked()
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -161,6 +342,31 @@ type bpReader struct{ p *boundedPipe }
 
 func (r *bpReader) Read(b []byte) (int, error) { return r.p.read(b) }
 
+// WriteTo drains the pipe into w chunk-by-chunk without an intermediate
+// copy buffer. When w is the write end of another bounded pipe the
+// chunks hand off wholesale (zero copies).
+func (r *bpReader) WriteTo(w io.Writer) (int64, error) {
+	if bw, ok := w.(*bpWriter); ok {
+		return r.p.handoffTo(bw.p)
+	}
+	var total int64
+	for {
+		data, base, err := r.p.takeChunk()
+		if err != nil {
+			if err == io.EOF {
+				return total, nil
+			}
+			return total, err
+		}
+		n, werr := w.Write(data)
+		putPipeBlock(base)
+		total += int64(n)
+		if werr != nil {
+			return total, werr
+		}
+	}
+}
+
 // Close hangs up the read end; blocked and future writes fail.
 func (r *bpReader) Close() error { r.p.closeRead(); return nil }
 
@@ -168,6 +374,48 @@ func (r *bpReader) Close() error { r.p.closeRead(); return nil }
 type bpWriter struct{ p *boundedPipe }
 
 func (w *bpWriter) Write(b []byte) (int, error) { return w.p.write(b) }
+
+// WriteOwned enqueues b without copying; ownership of b transfers to the
+// pipe (the caller must not touch it afterwards). Intended for pooled
+// blocks filled by the producer; standard-size blocks recycle once the
+// reader consumes them.
+func (w *bpWriter) WriteOwned(b []byte) (int, error) { return w.p.writeOwned(b) }
+
+// ReadFrom fills pooled blocks straight from r and hands them to the
+// pipe, avoiding the copy an io.Copy fallback loop would make. A
+// bounded-pipe source short-circuits to wholesale chunk handoff.
+func (w *bpWriter) ReadFrom(r io.Reader) (int64, error) {
+	if br, ok := r.(*bpReader); ok {
+		return br.p.handoffTo(w.p)
+	}
+	var total int64
+	for {
+		blk := getPipeBlock()[:pipeBlockSize]
+		n, err := r.Read(blk)
+		if n > 0 {
+			// Tiny reads would waste a whole pooled block each; copy
+			// them through the coalescing path instead.
+			if n < pipeBlockSize/8 {
+				_, werr := w.p.write(blk[:n])
+				putPipeBlock(blk)
+				if werr != nil {
+					return total, werr
+				}
+			} else if _, werr := w.p.writeOwned(blk[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+		} else {
+			putPipeBlock(blk)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
 
 // Close marks the stream complete; the reader sees EOF after draining.
 func (w *bpWriter) Close() error { w.p.closeWrite(nil); return nil }

@@ -1,0 +1,638 @@
+package expand
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Arithmetic closure compilation. EvalArith is a parser-evaluator hybrid:
+// it re-scans the expression text on every $((...)) evaluation, which is
+// the dominant cost of counting loops like `i=$((i+1))`. CompileArith
+// parses the same grammar once into a closure tree; evalArithText caches
+// compiled expressions by their text so a loop pays the parse exactly
+// once.
+//
+// The evaluator is deliberately eager — both sides of || and &&, and both
+// ternary branches, evaluate (including their assignments), exactly like
+// the parse-time evaluator it replaces. EvalArith remains the behavioral
+// oracle; the differential test in arith_compile_test.go holds the two
+// paths together.
+
+// arithEnv carries the variable bindings one evaluation runs against.
+type arithEnv struct {
+	lookup func(string) string
+	assign func(string, string)
+}
+
+func (e *arithEnv) varValue(name string) int64 {
+	if e.lookup == nil {
+		return 0
+	}
+	s := strings.TrimSpace(e.lookup(name))
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// arithFn is one compiled (sub)expression.
+type arithFn func(*arithEnv) (int64, error)
+
+// ArithExpr is a compiled arithmetic expression ready for repeated
+// evaluation against different variable bindings. The interpreter's
+// compilation layer pre-compiles $((...)) words through this handle.
+type ArithExpr struct{ fn arithFn }
+
+// CompileArithExpr compiles (or fetches from the shared cache) the given
+// expression text.
+func CompileArithExpr(expr string) (*ArithExpr, error) {
+	fn, err := compileArithCached(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &ArithExpr{fn: fn}, nil
+}
+
+// Eval runs the compiled expression. lookup and assign follow EvalArith's
+// contract (nil-safe, unset/non-numeric variables read as 0).
+func (a *ArithExpr) Eval(lookup func(string) string, assign func(string, string)) (int64, error) {
+	return a.fn(&arithEnv{lookup: lookup, assign: assign})
+}
+
+// CompileArith parses a POSIX arithmetic expression into a reusable
+// closure. The closure is safe for concurrent use with distinct envs.
+func CompileArith(expr string) (arithFn, error) {
+	c := &arithCompiler{src: expr}
+	fn, err := c.ternary()
+	if err != nil {
+		return nil, err
+	}
+	c.skip()
+	if c.pos != len(c.src) {
+		return nil, fmt.Errorf("arithmetic: unexpected %q", c.src[c.pos:])
+	}
+	return fn, nil
+}
+
+// compiled-expression cache: keyed by expression text, bounded by epoch
+// eviction (the whole map resets when full, which a shell workload — a
+// small set of hot loop expressions — never hits in practice).
+const maxArithCache = 4096
+
+var (
+	arithCacheMu sync.Mutex
+	arithCache   = map[string]arithCacheEntry{}
+)
+
+type arithCacheEntry struct {
+	fn  arithFn
+	err error
+}
+
+func compileArithCached(expr string) (arithFn, error) {
+	arithCacheMu.Lock()
+	if e, ok := arithCache[expr]; ok {
+		arithCacheMu.Unlock()
+		return e.fn, e.err
+	}
+	arithCacheMu.Unlock()
+	fn, err := CompileArith(expr)
+	arithCacheMu.Lock()
+	if len(arithCache) >= maxArithCache {
+		arithCache = map[string]arithCacheEntry{}
+	}
+	arithCache[expr] = arithCacheEntry{fn, err}
+	arithCacheMu.Unlock()
+	return fn, err
+}
+
+// arithCompiler mirrors arithParser production for production; where the
+// parser evaluates, the compiler emits a closure. Operand evaluation order
+// inside the closures matches the parser's parse-time order exactly.
+type arithCompiler struct {
+	src string
+	pos int
+}
+
+func (c *arithCompiler) skip() {
+	for c.pos < len(c.src) && (c.src[c.pos] == ' ' || c.src[c.pos] == '\t' || c.src[c.pos] == '\n') {
+		c.pos++
+	}
+}
+
+func (c *arithCompiler) peekOp(ops ...string) string {
+	c.skip()
+	for _, op := range ops {
+		if strings.HasPrefix(c.src[c.pos:], op) {
+			return op
+		}
+	}
+	return ""
+}
+
+func constFn(v int64) arithFn {
+	return func(*arithEnv) (int64, error) { return v, nil }
+}
+
+func (c *arithCompiler) ternary() (arithFn, error) {
+	cond, err := c.logicalOr()
+	if err != nil {
+		return nil, err
+	}
+	c.skip()
+	if c.pos < len(c.src) && c.src[c.pos] == '?' {
+		c.pos++
+		thenF, err := c.ternary()
+		if err != nil {
+			return nil, err
+		}
+		c.skip()
+		if c.pos >= len(c.src) || c.src[c.pos] != ':' {
+			return nil, fmt.Errorf("arithmetic: missing ':' in ?:")
+		}
+		c.pos++
+		elseF, err := c.ternary()
+		if err != nil {
+			return nil, err
+		}
+		// Eager on purpose: the parse-time evaluator computes both
+		// branches (and their assignments) before picking one.
+		return func(e *arithEnv) (int64, error) {
+			condV, err := cond(e)
+			if err != nil {
+				return 0, err
+			}
+			thenV, err := thenF(e)
+			if err != nil {
+				return 0, err
+			}
+			elseV, err := elseF(e)
+			if err != nil {
+				return 0, err
+			}
+			if condV != 0 {
+				return thenV, nil
+			}
+			return elseV, nil
+		}, nil
+	}
+	return cond, nil
+}
+
+func (c *arithCompiler) logicalOr() (arithFn, error) {
+	l, err := c.logicalAnd()
+	if err != nil {
+		return nil, err
+	}
+	for c.peekOp("||") != "" {
+		c.pos += 2
+		r, err := c.logicalAnd()
+		if err != nil {
+			return nil, err
+		}
+		lf, rf := l, r
+		l = func(e *arithEnv) (int64, error) {
+			lv, err := lf(e)
+			if err != nil {
+				return 0, err
+			}
+			rv, err := rf(e)
+			if err != nil {
+				return 0, err
+			}
+			if lv != 0 || rv != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	return l, nil
+}
+
+func (c *arithCompiler) logicalAnd() (arithFn, error) {
+	l, err := c.bitOr()
+	if err != nil {
+		return nil, err
+	}
+	for c.peekOp("&&") != "" {
+		c.pos += 2
+		r, err := c.bitOr()
+		if err != nil {
+			return nil, err
+		}
+		lf, rf := l, r
+		l = func(e *arithEnv) (int64, error) {
+			lv, err := lf(e)
+			if err != nil {
+				return 0, err
+			}
+			rv, err := rf(e)
+			if err != nil {
+				return 0, err
+			}
+			if lv != 0 && rv != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	return l, nil
+}
+
+// binOp folds one more operand into a left-associative chain.
+func binOp(lf, rf arithFn, op func(int64, int64) (int64, error)) arithFn {
+	return func(e *arithEnv) (int64, error) {
+		lv, err := lf(e)
+		if err != nil {
+			return 0, err
+		}
+		rv, err := rf(e)
+		if err != nil {
+			return 0, err
+		}
+		return op(lv, rv)
+	}
+}
+
+func (c *arithCompiler) bitOr() (arithFn, error) {
+	l, err := c.bitXor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c.skip()
+		if c.pos < len(c.src) && c.src[c.pos] == '|' && !strings.HasPrefix(c.src[c.pos:], "||") {
+			c.pos++
+			r, err := c.bitXor()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp(l, r, func(a, b int64) (int64, error) { return a | b, nil })
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (c *arithCompiler) bitXor() (arithFn, error) {
+	l, err := c.bitAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c.skip()
+		if c.pos < len(c.src) && c.src[c.pos] == '^' {
+			c.pos++
+			r, err := c.bitAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp(l, r, func(a, b int64) (int64, error) { return a ^ b, nil })
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (c *arithCompiler) bitAnd() (arithFn, error) {
+	l, err := c.equality()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c.skip()
+		if c.pos < len(c.src) && c.src[c.pos] == '&' && !strings.HasPrefix(c.src[c.pos:], "&&") {
+			c.pos++
+			r, err := c.equality()
+			if err != nil {
+				return nil, err
+			}
+			l = binOp(l, r, func(a, b int64) (int64, error) { return a & b, nil })
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (c *arithCompiler) equality() (arithFn, error) {
+	l, err := c.relational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := c.peekOp("==", "!=")
+		if op == "" {
+			return l, nil
+		}
+		c.pos += 2
+		r, err := c.relational()
+		if err != nil {
+			return nil, err
+		}
+		neq := op == "!="
+		l = binOp(l, r, func(a, b int64) (int64, error) {
+			ok := a == b
+			if neq {
+				ok = !ok
+			}
+			return boolToInt(ok), nil
+		})
+	}
+}
+
+func (c *arithCompiler) relational() (arithFn, error) {
+	l, err := c.shift()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := c.peekOp("<=", ">=")
+		if op == "" {
+			// Careful not to eat shift operators.
+			if c.peekOp("<<", ">>") != "" {
+				return l, nil
+			}
+			op = c.peekOp("<", ">")
+		}
+		if op == "" {
+			return l, nil
+		}
+		c.pos += len(op)
+		r, err := c.shift()
+		if err != nil {
+			return nil, err
+		}
+		cmp := op
+		l = binOp(l, r, func(a, b int64) (int64, error) {
+			var ok bool
+			switch cmp {
+			case "<":
+				ok = a < b
+			case "<=":
+				ok = a <= b
+			case ">":
+				ok = a > b
+			case ">=":
+				ok = a >= b
+			}
+			return boolToInt(ok), nil
+		})
+	}
+}
+
+func (c *arithCompiler) shift() (arithFn, error) {
+	l, err := c.additive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := c.peekOp("<<", ">>")
+		if op == "" {
+			return l, nil
+		}
+		c.pos += 2
+		left := op == "<<"
+		r, err := c.additive()
+		if err != nil {
+			return nil, err
+		}
+		l = binOp(l, r, func(a, b int64) (int64, error) {
+			if left {
+				return a << uint(b), nil
+			}
+			return a >> uint(b), nil
+		})
+	}
+}
+
+func (c *arithCompiler) additive() (arithFn, error) {
+	l, err := c.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c.skip()
+		if c.pos >= len(c.src) {
+			return l, nil
+		}
+		ch := c.src[c.pos]
+		if ch != '+' && ch != '-' {
+			return l, nil
+		}
+		c.pos++
+		r, err := c.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		add := ch == '+'
+		l = binOp(l, r, func(a, b int64) (int64, error) {
+			if add {
+				return a + b, nil
+			}
+			return a - b, nil
+		})
+	}
+}
+
+func (c *arithCompiler) multiplicative() (arithFn, error) {
+	l, err := c.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c.skip()
+		if c.pos >= len(c.src) {
+			return l, nil
+		}
+		ch := c.src[c.pos]
+		if ch != '*' && ch != '/' && ch != '%' {
+			return l, nil
+		}
+		c.pos++
+		r, err := c.unary()
+		if err != nil {
+			return nil, err
+		}
+		mulOp := ch
+		l = binOp(l, r, func(a, b int64) (int64, error) {
+			switch mulOp {
+			case '*':
+				return a * b, nil
+			case '/':
+				if b == 0 {
+					return 0, fmt.Errorf("arithmetic: division by zero")
+				}
+				return a / b, nil
+			default:
+				if b == 0 {
+					return 0, fmt.Errorf("arithmetic: division by zero")
+				}
+				return a % b, nil
+			}
+		})
+	}
+}
+
+func (c *arithCompiler) unary() (arithFn, error) {
+	c.skip()
+	if c.pos < len(c.src) {
+		switch c.src[c.pos] {
+		case '+':
+			c.pos++
+			return c.unary()
+		case '-':
+			c.pos++
+			v, err := c.unary()
+			if err != nil {
+				return nil, err
+			}
+			return func(e *arithEnv) (int64, error) {
+				x, err := v(e)
+				return -x, err
+			}, nil
+		case '!':
+			if !strings.HasPrefix(c.src[c.pos:], "!=") {
+				c.pos++
+				v, err := c.unary()
+				if err != nil {
+					return nil, err
+				}
+				return func(e *arithEnv) (int64, error) {
+					x, err := v(e)
+					if err != nil {
+						return 0, err
+					}
+					return boolToInt(x == 0), nil
+				}, nil
+			}
+		case '~':
+			c.pos++
+			v, err := c.unary()
+			if err != nil {
+				return nil, err
+			}
+			return func(e *arithEnv) (int64, error) {
+				x, err := v(e)
+				return ^x, err
+			}, nil
+		}
+	}
+	return c.primary()
+}
+
+func (c *arithCompiler) primary() (arithFn, error) {
+	c.skip()
+	if c.pos >= len(c.src) {
+		return nil, fmt.Errorf("arithmetic: unexpected end of expression")
+	}
+	ch := c.src[c.pos]
+	if ch == '(' {
+		c.pos++
+		v, err := c.ternary()
+		if err != nil {
+			return nil, err
+		}
+		c.skip()
+		if c.pos >= len(c.src) || c.src[c.pos] != ')' {
+			return nil, fmt.Errorf("arithmetic: missing )")
+		}
+		c.pos++
+		return v, nil
+	}
+	if ch >= '0' && ch <= '9' {
+		start := c.pos
+		// Hex, octal, or decimal.
+		if strings.HasPrefix(c.src[c.pos:], "0x") || strings.HasPrefix(c.src[c.pos:], "0X") {
+			c.pos += 2
+			for c.pos < len(c.src) && isHexDigit(c.src[c.pos]) {
+				c.pos++
+			}
+		} else {
+			for c.pos < len(c.src) && c.src[c.pos] >= '0' && c.src[c.pos] <= '9' {
+				c.pos++
+			}
+		}
+		v, err := strconv.ParseInt(c.src[start:c.pos], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("arithmetic: bad number %q", c.src[start:c.pos])
+		}
+		return constFn(v), nil
+	}
+	if ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch == '$' {
+		if ch == '$' {
+			c.pos++ // bash allows $name inside $(( )); treat as name
+		}
+		start := c.pos
+		for c.pos < len(c.src) {
+			b := c.src[c.pos]
+			if b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') ||
+				(c.pos > start && b >= '0' && b <= '9') {
+				c.pos++
+				continue
+			}
+			break
+		}
+		name := c.src[start:c.pos]
+		if name == "" {
+			return nil, fmt.Errorf("arithmetic: bad variable reference")
+		}
+		// Assignment operators.
+		c.skip()
+		for _, op := range []string{"+=", "-=", "*=", "/=", "%=", "="} {
+			if strings.HasPrefix(c.src[c.pos:], op) {
+				if op == "=" && strings.HasPrefix(c.src[c.pos:], "==") {
+					break
+				}
+				c.pos += len(op)
+				rhs, err := c.ternary()
+				if err != nil {
+					return nil, err
+				}
+				assignOp := op
+				return func(e *arithEnv) (int64, error) {
+					// Evaluation order matches the parser: the right-hand
+					// side runs before the current value is read.
+					r, err := rhs(e)
+					if err != nil {
+						return 0, err
+					}
+					cur := e.varValue(name)
+					switch assignOp {
+					case "=":
+						cur = r
+					case "+=":
+						cur += r
+					case "-=":
+						cur -= r
+					case "*=":
+						cur *= r
+					case "/=":
+						if r == 0 {
+							return 0, fmt.Errorf("arithmetic: division by zero")
+						}
+						cur /= r
+					case "%=":
+						if r == 0 {
+							return 0, fmt.Errorf("arithmetic: division by zero")
+						}
+						cur %= r
+					}
+					if e.assign != nil {
+						e.assign(name, strconv.FormatInt(cur, 10))
+					}
+					return cur, nil
+				}, nil
+			}
+		}
+		return func(e *arithEnv) (int64, error) {
+			return e.varValue(name), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("arithmetic: unexpected character %q", string(ch))
+}

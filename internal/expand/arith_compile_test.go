@@ -1,0 +1,104 @@
+package expand
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestCompileArithDifferential holds the compiled evaluator to the eager
+// parser-evaluator (EvalArith) over value, error, and side-effect
+// behavior, including the deliberate eager evaluation of both ternary
+// branches and both sides of || / &&.
+func TestCompileArithDifferential(t *testing.T) {
+	exprs := []string{
+		"1+2*3",
+		"(1+2)*3",
+		"10/3", "10%3", "7/-2",
+		"1<<5", "256>>4",
+		"1<2", "2<=2", "3>4", "4>=4",
+		"1==1", "1!=1",
+		"5&3", "5|3", "5^3",
+		"~0", "!5", "!0", "-7", "+7", "- -3",
+		"1 && 2", "1 && 0", "0 || 0", "0 || 9",
+		"1 ? 10 : 20", "0 ? 10 : 20",
+		"0x1f", "010", "0X2A",
+		"x", "x+1", "$x*2",
+		"y=5", "y+=2", "y-=2", "y*=3", "x=y=3",
+		"1 ? a=1 : (b=2)",
+		"0 ? a=1 : (b=2)",
+		"x = 1 == 1",
+		"3 < 5 == 1",
+		// errors
+		"1/0", "5%0", "y/=0", "y%=0",
+		"1 +", "(1", "1 ? 2", "@", "1 // 2", "", "9999999999999999999999",
+	}
+	for _, expr := range exprs {
+		vars1 := map[string]string{"x": "4", "y": "10"}
+		vars2 := map[string]string{"x": "4", "y": "10"}
+		mkEnv := func(vars map[string]string) (func(string) string, func(string, string)) {
+			return func(n string) string { return vars[n] },
+				func(n, v string) { vars[n] = v }
+		}
+		l1, a1 := mkEnv(vars1)
+		wantV, wantErr := EvalArith(expr, l1, a1)
+
+		l2, a2 := mkEnv(vars2)
+		fn, cerr := CompileArith(expr)
+		var gotV int64
+		var gotErr error
+		if cerr != nil {
+			gotErr = cerr
+		} else {
+			gotV, gotErr = fn(&arithEnv{lookup: l2, assign: a2})
+		}
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("%q: error divergence: eager=%v compiled=%v", expr, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			continue
+		}
+		if wantV != gotV {
+			t.Errorf("%q: value divergence: eager=%d compiled=%d", expr, wantV, gotV)
+		}
+		for k, v := range vars1 {
+			if vars2[k] != v {
+				t.Errorf("%q: side-effect divergence on %s: eager=%q compiled=%q", expr, k, v, vars2[k])
+			}
+		}
+	}
+}
+
+// TestCompileArithReuse evaluates one compiled closure against many envs,
+// as the per-Interp cache does.
+func TestCompileArithReuse(t *testing.T) {
+	fn, err := CompileArith("i+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		want := int64(i + 1)
+		iv := strconv.Itoa(i)
+		got, err := fn(&arithEnv{lookup: func(string) string { return iv }})
+		if err != nil || got != want {
+			t.Fatalf("i=%d: got %d err %v", i, got, err)
+		}
+	}
+}
+
+// TestArithCacheEviction fills the cache past its bound and checks it
+// still answers correctly after the epoch reset.
+func TestArithCacheEviction(t *testing.T) {
+	for i := 0; i < maxArithCache+10; i++ {
+		expr := strconv.Itoa(i) + "+1"
+		fn, err := compileArithCached(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fn(&arithEnv{})
+		if err != nil || got != int64(i+1) {
+			t.Fatalf("%s: got %d err %v", expr, got, err)
+		}
+	}
+}

@@ -288,7 +288,14 @@ func (x *Expander) evalArithText(expr string) (int64, error) {
 			x.Set(name, value)
 		}
 	}
-	return EvalArith(expr, lookup, assign)
+	// Hot path: compile the expression text once and reuse the closure on
+	// every later evaluation (loop counters re-evaluate the same text
+	// millions of times). EvalArith stays as the uncached oracle.
+	fn, err := compileArithCached(expr)
+	if err != nil {
+		return 0, err
+	}
+	return fn(&arithEnv{lookup: lookup, assign: assign})
 }
 
 // expandArithParams runs the $-expansions inside an arithmetic expression

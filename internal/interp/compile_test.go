@@ -1,0 +1,223 @@
+package interp
+
+import (
+	"bytes"
+	"testing"
+
+	"jash/internal/vfs"
+)
+
+// runBoth executes src twice over identical fresh filesystems — once
+// through the closure-compiled path, once through the tree walker — and
+// returns (stdout, stderr, status) for each. The walker is the oracle;
+// any divergence is a compilation bug.
+func runBoth(t *testing.T, src string, seed func(fs *vfs.FS)) (cOut, cErr string, cStatus int, wOut, wErr string, wStatus int) {
+	t.Helper()
+	run := func(noCompile bool) (string, string, int) {
+		fs := vfs.New()
+		if seed != nil {
+			seed(fs)
+		}
+		in := New(fs)
+		in.NoCompile = noCompile
+		var out, errb bytes.Buffer
+		in.Stdout = &out
+		in.Stderr = &errb
+		status, err := in.RunScript(src)
+		if err != nil {
+			// Parse or fatal errors must also agree; encode them in stderr.
+			return out.String(), errb.String() + "FATAL: " + err.Error(), status
+		}
+		return out.String(), errb.String(), status
+	}
+	cOut, cErr, cStatus = run(false)
+	wOut, wErr, wStatus = run(true)
+	return
+}
+
+// assertAgree checks the compiled path byte-identically matches the
+// tree walker on stdout, stderr, and exit status.
+func assertAgree(t *testing.T, src string, seed func(fs *vfs.FS)) {
+	t.Helper()
+	cOut, cErr, cStatus, wOut, wErr, wStatus := runBoth(t, src, seed)
+	if cOut != wOut {
+		t.Errorf("%q stdout diverges:\ncompiled: %q\nwalker:   %q", src, cOut, wOut)
+	}
+	if cErr != wErr {
+		t.Errorf("%q stderr diverges:\ncompiled: %q\nwalker:   %q", src, cErr, wErr)
+	}
+	if cStatus != wStatus {
+		t.Errorf("%q status diverges: compiled %d, walker %d", src, cStatus, wStatus)
+	}
+}
+
+func TestCompiledDifferentialBasics(t *testing.T) {
+	scripts := []string{
+		"echo hello world",
+		"X=1; echo $X",
+		"X=a Y=b; echo $X$Y",
+		`X="two words"; echo "$X"`,
+		"echo ${UNSET:-default}",
+		"true && echo yes || echo no",
+		"false && echo yes || echo no",
+		"! true; echo $?",
+		"! false; echo $?",
+		"true | false; echo $?",
+		"echo a; echo b & echo c",
+		"exit 3",
+		"(exit 5); echo $?",
+		"echo one; exit 7; echo two",
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, nil)
+	}
+}
+
+func TestCompiledDifferentialControlFlow(t *testing.T) {
+	scripts := []string{
+		"i=0; while [ $i -lt 5 ]; do echo $i; i=$((i+1)); done",
+		"i=0; until [ $i -ge 3 ]; do echo $i; i=$((i+1)); done",
+		"for x in a b c; do echo $x; done",
+		"for x in; do echo $x; done; echo status=$?",
+		"i=0; while [ $i -lt 10 ]; do i=$((i+1)); if [ $i -eq 4 ]; then break; fi; echo $i; done",
+		"i=0; while [ $i -lt 6 ]; do i=$((i+1)); if [ $i -eq 3 ]; then continue; fi; echo $i; done",
+		"for a in 1 2; do for b in x y; do if [ $b = y ]; then break 2; fi; echo $a$b; done; done",
+		"for a in 1 2; do for b in x y; do if [ $b = y ]; then continue 2; fi; echo $a$b; done; done",
+		"if true; then echo t; else echo f; fi",
+		"if false; then echo t; else echo f; fi",
+		"if false; then echo t; fi; echo $?",
+		"case hello in h*) echo starts-h;; *) echo other;; esac",
+		"case zebra in h*) echo starts-h;; *) echo other;; esac",
+		"x=abc; case $x in a?c) echo matched;; esac",
+		"f() { echo in-f $1; return 4; }; f arg; echo $?",
+		"f() { for x in 1 2 3; do echo $x; done; }; f; f",
+		"g() { return 1; }; g || echo failed",
+		"n=0; while [ $n -lt 3 ]; do n=$((n+1)); done; echo $n",
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, nil)
+	}
+}
+
+func TestCompiledDifferentialExpansionEdges(t *testing.T) {
+	scripts := []string{
+		// IFS manipulation invalidates the static-word fast path.
+		`IFS=c; echo echoed`,
+		`IFS=c; X=abcd; echo $X`,
+		`IFS=" 	"; echo a b`,
+		`IFS=; X="a b"; echo $X`,
+		// Glob metacharacters in literal words.
+		"echo *.nomatch",
+		"echo 'lit*eral'",
+		`echo "quoted*glob"`,
+		// Escapes and quoting.
+		`echo a\ b`,
+		`echo "a\$b"`,
+		`echo 'a$b'`,
+		`echo ""`,
+		"echo",
+		// Dynamic command names.
+		"c=echo; $c dynamic",
+		"e=ech; o=o; $e$o split-name",
+		// $? capture order across assignments and words.
+		"false; a=$?; echo $a",
+		"a=$(false)$?; echo $a",
+		"false; echo $? $?",
+		// Arithmetic (eager ternary/logical, assignment operators).
+		"echo $((2+3*4))",
+		"echo $((1 ? 10 : 20))",
+		"echo $((0 ? 10 : 20))",
+		"x=0; echo $((1 ? x+=5 : (x+=7) )) $x",
+		"x=1; echo $(( x && 0 || 2 ))",
+		"echo $(( 1 << 5, 0 ))2>/dev/null || echo arith-err",
+		"echo $((x=7)) $x",
+		"echo $((10/3)) $((10%3))",
+		"echo $((0x1f)) $((010))",
+		// Readonly violation inside compiled assignment.
+		"readonly R=1; R=2; echo unreached",
+		// Tilde.
+		"HOME=/home/u; echo ~",
+		"HOME=/home/u; echo ~/sub",
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, nil)
+	}
+}
+
+func TestCompiledDifferentialRedirsAndPipes(t *testing.T) {
+	seed := func(fs *vfs.FS) {
+		fs.WriteFile("/data.txt", []byte("alpha\nbeta\ngamma\n"))
+	}
+	scripts := []string{
+		"cat </data.txt",
+		"grep a </data.txt | wc -l",
+		"cat /data.txt | grep -v beta | sort -r",
+		"echo first >/out; echo second >>/out; cat /out",
+		"while read line; do echo got:$line; done </data.txt",
+		"for f in 1 2; do echo $f; done >/loop.out; cat /loop.out",
+		"{ echo a; echo b; } >/grp.out; cat /grp.out",
+		"if true; then echo ok; fi >/if.out; cat /if.out",
+		"cat <<EOF\nline $((1+1))\nEOF",
+		"echo errline >&2",
+		"echo both; echo err >&2",
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, seed)
+	}
+}
+
+func TestCompiledDifferentialOptionsAndTraps(t *testing.T) {
+	scripts := []string{
+		"set -e; false; echo unreached",
+		"set -e; false || echo guarded; echo after",
+		"set -e; if false; then echo t; fi; echo survived",
+		"set -e; while false; do echo body; done; echo survived",
+		"set -x; echo traced",
+		"set -u; echo ${MISSING}; echo unreached",
+		"trap 'echo exiting' EXIT; echo body",
+		"trap 'echo exiting' EXIT; exit 2",
+		"set -f; echo *.raw",
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, nil)
+	}
+}
+
+func TestCompiledDifferentialSubshells(t *testing.T) {
+	scripts := []string{
+		"X=outer; (X=inner; echo $X); echo $X",
+		"(cd /tmp 2>/dev/null; pwd); pwd",
+		"echo $(echo nested $(echo deep))",
+		"X=$(echo from-subst); echo $X",
+		"(exit 9); echo $?",
+		"out=$(i=0; while [ $i -lt 3 ]; do echo $i; i=$((i+1)); done); echo \"$out\"",
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, nil)
+	}
+}
+
+// TestCompiledCacheSharedAcrossClones runs a function in a pipeline twice
+// to exercise cached closures on subshell clones (races here would be
+// caught by -race).
+func TestCompiledCacheSharedAcrossClones(t *testing.T) {
+	src := "f() { while read l; do echo f:$l; done; }; echo a | f; echo b | f"
+	assertAgree(t, src, nil)
+}
+
+// TestCompiledLoopReusesClosures is a smoke test that the compiled path
+// produces correct output over many iterations (the cache returns the
+// same closure each pass).
+func TestCompiledLoopReusesClosures(t *testing.T) {
+	fs := vfs.New()
+	in := New(fs)
+	var out bytes.Buffer
+	in.Stdout = &out
+	status, err := in.RunScript("i=0; s=0; while [ $i -lt 100 ]; do i=$((i+1)); s=$((s+i)); done; echo $s")
+	if err != nil || status != 0 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if got := out.String(); got != "5050\n" {
+		t.Errorf("sum = %q, want 5050", got)
+	}
+}

@@ -82,6 +82,30 @@ type Interp struct {
 	// optimized plans.
 	Cancel <-chan struct{}
 
+	// NoCompile forces the tree-walking evaluation path, bypassing the
+	// closure-compilation cache. It exists for differential testing (the
+	// walker is the oracle the compiled path is checked against) and as
+	// the baseline configuration of the throughput benchmark.
+	NoCompile bool
+
+	// cache memoizes compiled program fragments per AST node; subshell
+	// clones share it (AST nodes are immutable, and the map is
+	// concurrency-safe for the pipeline-stage goroutines).
+	cache *progCache
+
+	// Per-Interp closure caches: expander and coreutils-context callbacks
+	// close over the interpreter and are identical across invocations, so
+	// they are built once instead of per command (they dominate the
+	// allocation profile of tight loops otherwise). Subshell clones start
+	// empty — a clone must not call back into its parent.
+	xLookup    func(string) (string, bool)
+	xSet       func(string, string)
+	xCmdSubst  func([]*syntax.Stmt) (string, error)
+	cuGetenv   func(string) string
+	cuEnviron  func() []string
+	arLookup   func(string) string
+	arAssign   func(string, string)
+
 	loopDepth int
 
 	// getopts state that POSIX hides from scripts: optInd mirrors the
@@ -113,6 +137,7 @@ func New(fs *vfs.FS) *Interp {
 		Stdout: io.Discard,
 		Stderr: io.Discard,
 		PID:    1000,
+		cache:  &progCache{},
 	}
 }
 
@@ -208,14 +233,22 @@ func (in *Interp) Environ() []string {
 	return out
 }
 
-// expander builds an expand.Expander over the current state.
+// expander builds an expand.Expander over the current state. The callback
+// closures are cached on the interpreter; the struct itself is fresh per
+// call so captured scalars ($?, positional parameters) keep the same
+// snapshot semantics as before.
 func (in *Interp) expander() *expand.Expander {
-	return &expand.Expander{
-		Lookup: func(name string) (string, bool) {
+	if in.xLookup == nil {
+		in.xLookup = func(name string) (string, bool) {
 			v, ok := in.Vars[name]
 			return v.Value, ok
-		},
-		Set:      in.Setenv,
+		}
+		in.xSet = in.Setenv
+		in.xCmdSubst = in.cmdSubst
+	}
+	return &expand.Expander{
+		Lookup:   in.xLookup,
+		Set:      in.xSet,
 		Params:   in.Params,
 		Name0:    in.Name0,
 		Status:   in.Status,
@@ -224,8 +257,18 @@ func (in *Interp) expander() *expand.Expander {
 		Dir:      in.Dir,
 		NoGlob:   in.NoGlob,
 		NoUnset:  in.NoUnset,
-		CmdSubst: in.cmdSubst,
+		CmdSubst: in.xCmdSubst,
 	}
+}
+
+// arithFns returns the cached lookup/assign pair handed to pre-compiled
+// arithmetic expressions; it mirrors the expander's arithmetic callbacks.
+func (in *Interp) arithFns() (func(string) string, func(string, string)) {
+	if in.arLookup == nil {
+		in.arLookup = func(name string) string { return in.Vars[name].Value }
+		in.arAssign = in.Setenv
+	}
+	return in.arLookup, in.arAssign
 }
 
 // cmdSubst runs a command substitution body in a subshell, capturing its
@@ -263,6 +306,10 @@ func (in *Interp) subshell() *Interp {
 		// over.
 		Traps: map[string]string{}, Umask: in.Umask,
 		Observer: in.Observer, Cancel: in.Cancel,
+		// The cache pointer is copied as-is: in compiled mode it is always
+		// non-nil by the time a clone is made (stmt() forces it), and lazy
+		// creation here would race among pipeline-stage goroutines.
+		NoCompile: in.NoCompile, cache: in.cache,
 	}
 }
 
@@ -322,10 +369,20 @@ func (in *Interp) fatalf(format string, args ...any) {
 	panic(fatalError{fmt.Errorf(format, args...)})
 }
 
-// stmt runs one statement. Background statements run to completion too —
-// the interpreter is deterministic and has no job control — but their
-// status does not become $?.
+// stmt runs one statement, through the closure-compilation cache by
+// default or the tree-walking path under NoCompile.
 func (in *Interp) stmt(st *syntax.Stmt) {
+	if in.NoCompile {
+		in.stmtWalk(st)
+		return
+	}
+	in.compiledStmt(st)(in)
+}
+
+// stmtWalk runs one statement by walking the tree. Background statements
+// run to completion too — the interpreter is deterministic and has no job
+// control — but their status does not become $?.
+func (in *Interp) stmtWalk(st *syntax.Stmt) {
 	if st.Background {
 		saved := in.Status
 		in.andOr(st.AndOr)
@@ -382,12 +439,23 @@ func (in *Interp) maybeErrExit(guarded bool) {
 	}
 }
 
-// runPipes wires the stages with in-memory pipes and runs each stage in a
-// subshell goroutine. The pipeline's status is the last stage's status.
-// Stage goroutines share the pipeline's stderr (and the last stage its
-// stdout), so both go through one lock.
+// runPipes wires command nodes into a pipeline via the tree-walking
+// dispatcher.
 func (in *Interp) runPipes(cmds []syntax.Command) {
-	n := len(cmds)
+	stages := make([]func(*Interp), len(cmds))
+	for i, cmd := range cmds {
+		cmd := cmd
+		stages[i] = func(sub *Interp) { sub.command(cmd, nil) }
+	}
+	in.runPipeStages(stages)
+}
+
+// runPipeStages wires the stages with in-memory pipes and runs each stage
+// in a subshell goroutine. The pipeline's status is the last stage's
+// status. Stage goroutines share the pipeline's stderr (and the last stage
+// its stdout), so both go through one lock.
+func (in *Interp) runPipeStages(stages []func(*Interp)) {
+	n := len(stages)
 	var outMu sync.Mutex
 	sharedErr := &lockedWriter{mu: &outMu, w: in.Stderr}
 	sharedOut := &lockedWriter{mu: &outMu, w: in.Stdout}
@@ -401,9 +469,9 @@ func (in *Interp) runPipes(cmds []syntax.Command) {
 	}
 	var wg sync.WaitGroup
 	var lastStatus int
-	for i, cmd := range cmds {
+	for i, stage := range stages {
 		wg.Add(1)
-		go func(i int, cmd syntax.Command) {
+		go func(i int, stage func(*Interp)) {
 			defer wg.Done()
 			sub := in.subshell()
 			sub.Stdin = readers[i]
@@ -436,8 +504,8 @@ func (in *Interp) runPipes(cmds []syntax.Command) {
 					lastStatus = sub.Status
 				}
 			}()
-			sub.command(cmd, nil)
-		}(i, cmd)
+			stage(sub)
+		}(i, stage)
 	}
 	wg.Wait()
 	in.Status = lastStatus
@@ -543,6 +611,12 @@ func (in *Interp) whileClause(c *syntax.WhileClause) {
 // loopBody runs a loop body, translating break/continue signals.
 // It returns true when the loop should stop.
 func (in *Interp) loopBody(body []*syntax.Stmt) (stop bool) {
+	return in.loopBodyFn(func() { in.runList(body) })
+}
+
+// loopBodyFn runs one loop iteration, translating break/continue signals
+// whichever evaluation path produced them.
+func (in *Interp) loopBodyFn(run func()) (stop bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			switch sig := r.(type) {
@@ -560,7 +634,7 @@ func (in *Interp) loopBody(body []*syntax.Stmt) (stop bool) {
 			}
 		}
 	}()
-	in.runList(body)
+	run()
 	return false
 }
 
@@ -710,21 +784,30 @@ func (in *Interp) dispatch(fields []string) {
 		return
 	}
 	if fn, ok := coreutils.Lookup(name); ok {
-		ctx := &coreutils.Context{
-			FS:      in.FS,
-			Dir:     in.Dir,
-			Stdin:   in.Stdin,
-			Stdout:  in.Stdout,
-			Stderr:  in.Stderr,
-			Getenv:  in.Getenv,
-			Environ: in.Environ,
-			Cancel:  in.Cancel,
-		}
-		in.Status = fn(ctx, fields)
+		in.Status = fn(in.coreutilsContext(), fields)
 		return
 	}
 	fmt.Fprintf(in.Stderr, "jash: %s: command not found\n", name)
 	in.Status = 127
+}
+
+// coreutilsContext builds the invocation context handed to a registry
+// utility, reflecting the interpreter's current streams and directory.
+func (in *Interp) coreutilsContext() *coreutils.Context {
+	if in.cuGetenv == nil {
+		in.cuGetenv = in.Getenv
+		in.cuEnviron = in.Environ
+	}
+	return &coreutils.Context{
+		FS:      in.FS,
+		Dir:     in.Dir,
+		Stdin:   in.Stdin,
+		Stdout:  in.Stdout,
+		Stderr:  in.Stderr,
+		Getenv:  in.cuGetenv,
+		Environ: in.cuEnviron,
+		Cancel:  in.Cancel,
+	}
 }
 
 func (in *Interp) callFunction(body syntax.Command, fields []string) {
@@ -752,7 +835,11 @@ func (in *Interp) callFunction(body syntax.Command, fields []string) {
 			panic(r)
 		}
 	}()
-	in.command(body, nil)
+	if in.NoCompile {
+		in.command(body, nil)
+	} else {
+		in.compiledCommand(body)(in)
+	}
 }
 
 // withRedirs applies redirections around f, restoring streams afterwards.
