@@ -10,7 +10,7 @@
 //	jash [-mode bash|pash|jash] [-profile laptop|standard|ioopt]
 //	     [-import host.txt=/vfs/path]... [-words /vfs/path=SIZE]
 //	     [-retries N] [-stall-timeout D] [-timeout D]
-//	     [-trace] [-stats] (-c 'script' | script.sh)
+//	     [-no-list-parallel] [-trace] [-stats] (-c 'script' | script.sh)
 package main
 
 import (
@@ -51,6 +51,7 @@ func run() int {
 		timeout     = flag.Duration("timeout", 0, "bound the session; expiry tears running plans down and exits 124")
 		retries     = flag.Int("retries", 0, "per-node retry budget for effect-idempotent plan nodes")
 		stall       = flag.Duration("stall-timeout", 0, "abort optimized plans making no progress for this long")
+		noListPar   = flag.Bool("no-list-parallel", false, "disable command-list parallelism; run every statement list in program order")
 		interactive = flag.Bool("i", false, "interactive: read commands line by line with a prompt")
 		imports     multiFlag
 		words       multiFlag
@@ -130,6 +131,7 @@ func run() int {
 		sh.Ctx = ctx
 		sh.Retries = *retries
 		sh.StallTimeout = *stall
+		sh.NoListParallel = *noListPar
 		if *trace {
 			sh.Trace = os.Stderr
 		}
@@ -177,6 +179,7 @@ func run() int {
 	sh.Ctx = ctx
 	sh.Retries = *retries
 	sh.StallTimeout = *stall
+	sh.NoListParallel = *noListPar
 	if *trace {
 		sh.Trace = os.Stderr
 	}
@@ -208,6 +211,10 @@ func run() int {
 		if sh.Stats.Quarantined > 0 {
 			fmt.Fprintf(os.Stderr, "jash: %d execution(s) quarantined by the circuit breaker (interpreted)\n",
 				sh.Stats.Quarantined)
+		}
+		if sh.Stats.ListParallel > 0 {
+			fmt.Fprintf(os.Stderr, "jash: %d statement(s) ran in concurrent list regions (outputs replayed in program order)\n",
+				sh.Stats.ListParallel)
 		}
 		for _, d := range sh.Stats.Decisions {
 			fmt.Fprintf(os.Stderr, "  %-40s %-13s width=%d est=%.3fs\n",

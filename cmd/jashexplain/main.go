@@ -18,6 +18,7 @@ import (
 	"jash/internal/analysis"
 	"jash/internal/cost"
 	"jash/internal/expand"
+	"jash/internal/rewrite"
 	"jash/internal/spec"
 	"jash/internal/syntax"
 )
@@ -127,6 +128,22 @@ func run() int {
 			fmt.Printf("  committed output; a region failing %d times is quarantined (interpreted) with\n",
 				cost.BreakerThreshold)
 			fmt.Printf("  a half-open probe after %v — see `jash -stats`\n", cost.BreakerDecay)
+		}
+	}
+	// List-level verdict: across statements, can whole commands leave
+	// program order? Mirrors the shell's own planner (core.runStmtsTop).
+	if len(script.Stmts) >= 2 {
+		_, dec := rewrite.ParallelizeList(script.Stmts, rewrite.ListOptions{
+			Lib: lib, Dir: "/", Cores: cost.StandardEC2().Cores})
+		if dec.Parallel {
+			fmt.Printf("list parallelism: PROVEN — %s; outputs replay in program order,\n", dec.Reason)
+			fmt.Printf("  so stdout, stderr, and $? are byte-identical to the sequential run\n")
+		} else {
+			fmt.Printf("list parallelism: refused — %s\n", dec.Reason)
+			if dec.CdBlockedOnly {
+				fmt.Printf("  (JSH405: only a removable cd blocks this list — use absolute paths\n")
+				fmt.Printf("   and drop the cd to unlock a concurrent region)\n")
+			}
 		}
 	}
 	return 0

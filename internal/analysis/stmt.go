@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jash/internal/spec"
+	"jash/internal/syntax"
+)
+
+// StmtSummary aggregates what the list parallelizer needs to know about
+// one top-level statement: its filesystem effects, the shell variables it
+// persistently defines and reads, and the reasons (if any) it must stay in
+// program order. A statement with a non-empty Blockers list never enters a
+// concurrent region; two blocker-free statements may run concurrently when
+// Interferes finds no variable or filesystem hazard between them.
+type StmtSummary struct {
+	// FS is the statement's filesystem effect summary (paths as written;
+	// callers Normalize against the working directory before comparing).
+	FS *Summary
+	// Defs are variables the statement assigns in the parent shell
+	// (plain assignments and ${x=w}); Uses are variables it expands.
+	// Temp-env assignments (`FOO=1 cmd`) do not define: they scope to the
+	// one command.
+	Defs map[string]bool
+	// Uses are the variables the statement's expansions read.
+	Uses map[string]bool
+	// Blockers are human-readable reasons the statement cannot leave
+	// program order: control flow, state-mutating builtins, ⊤ effects,
+	// order-sensitive special parameters. Empty means eligible.
+	Blockers []string
+	// CdOnly marks a statement that is exactly a `cd` command — the case
+	// the JSH405 lint singles out, since removing it (absolute paths)
+	// often unblocks a whole region.
+	CdOnly bool
+}
+
+// Eligible reports whether the statement may leave program order.
+func (ss *StmtSummary) Eligible() bool { return len(ss.Blockers) == 0 }
+
+// blockerBuiltins mutate interpreter state (cwd, options, traps,
+// positionals, variables-by-name, functions) in ways the effect lattice
+// does not track, or transfer control. Any occurrence pins the statement.
+var blockerBuiltins = map[string]string{
+	"cd": "changes the working directory", "exit": "exits the shell",
+	"return": "returns from a function", "break": "breaks a loop",
+	"continue": "continues a loop", "shift": "shifts positional parameters",
+	"set": "mutates shell options/positionals", "trap": "installs a trap",
+	"eval": "evaluates dynamic code", "exec": "replaces the shell",
+	"unset": "unsets variables by name", "export": "mutates the environment",
+	"readonly": "marks variables readonly", "local": "declares locals",
+	"getopts": "advances OPTIND state", "read": "reads shared stdin into variables",
+	"wait": "synchronizes on background jobs", "umask": "mutates the file mode mask",
+	".": "sources a script", "source": "sources a script",
+}
+
+// SummarizeStmt analyzes one top-level statement for the list
+// parallelizer. It is deliberately conservative: anything it cannot prove
+// safe becomes a blocker, and the statement simply runs sequentially —
+// the same "no regressions, only missed opportunities" posture the JIT's
+// other gates take.
+func SummarizeStmt(st *syntax.Stmt, lib *spec.Library) *StmtSummary {
+	ss := &StmtSummary{FS: NewSummary(), Defs: map[string]bool{}, Uses: map[string]bool{}}
+	block := func(format string, args ...interface{}) {
+		ss.Blockers = append(ss.Blockers, fmt.Sprintf(format, args...))
+	}
+	if st == nil || st.AndOr == nil || st.AndOr.First == nil {
+		block("empty statement")
+		return ss
+	}
+	if st.Background {
+		block("background job (&)")
+	}
+	if len(st.AndOr.Rest) > 0 {
+		block("&&/|| list is control flow on exit status")
+	}
+	pl := st.AndOr.First
+	for ci, cmd := range pl.Cmds {
+		sc, ok := cmd.(*syntax.SimpleCommand)
+		if !ok {
+			block("compound command in pipeline")
+			continue
+		}
+		name := sc.Name()
+		if why, bad := blockerBuiltins[name]; bad {
+			block("%s %s", name, why)
+			if name == "cd" && len(pl.Cmds) == 1 && !st.Background &&
+				len(st.AndOr.Rest) == 0 && len(sc.Redirections) == 0 && len(sc.Assigns) == 0 {
+				ss.CdOnly = true
+			}
+		}
+		if len(sc.Args) == 0 {
+			// A bare assignment runs no command: only its redirections (and
+			// value-word expansions, folded below) touch the world.
+			for _, r := range sc.Redirections {
+				op := redirOp(r.Op)
+				if op == 0 {
+					continue
+				}
+				if r.Target == nil || !r.Target.IsStatic() || hasUnquotedGlob(r.Target) {
+					ss.FS.Unknown |= op
+				} else {
+					ss.FS.Touch(r.Target.StaticValue(), op)
+				}
+			}
+			summarizeStmtVars(ss, sc, block)
+			continue
+		}
+		sum := SummarizeCommand(sc, lib)
+		// Inner pipeline stages read the pipe, not the terminal: only the
+		// first command's stdin appetite matters, and a redirection over
+		// fd 0 satisfies it from a file instead.
+		if ci > 0 || redirectsFD(sc.Redirections, 0) {
+			sum.ReadsStdin = false
+		}
+		ss.FS.Union(sum)
+		summarizeStmtVars(ss, sc, block)
+	}
+	if ss.FS.Unknown != 0 {
+		block("⊤ effect: %s", ss.FS.Unknown)
+	}
+	if ss.FS.ReadsStdin {
+		block("reads shared stdin")
+	}
+	return ss
+}
+
+// summarizeStmtVars folds one simple command's variable defs and uses
+// (assignments, expansions, here-documents, arithmetic) into the summary.
+func summarizeStmtVars(ss *StmtSummary, sc *syntax.SimpleCommand, block func(string, ...interface{})) {
+	for _, a := range sc.Assigns {
+		if len(sc.Args) == 0 {
+			// A bare assignment persists in the parent shell.
+			ss.Defs[a.Name] = true
+		}
+		// `FOO=1 cmd` scopes FOO to cmd: only the value word's reads leak.
+		if a.Value != nil {
+			stmtWordUses(ss, a.Value, block)
+		}
+	}
+	for _, w := range sc.Args {
+		stmtWordUses(ss, w, block)
+	}
+	for _, r := range sc.Redirections {
+		if r.Target != nil {
+			stmtWordUses(ss, r.Target, block)
+		}
+		if (r.Op == syntax.RedirHeredoc || r.Op == syntax.RedirHeredocDash) && !r.Quoted {
+			if strings.Contains(r.Heredoc, "$(") || strings.Contains(r.Heredoc, "`") {
+				block("command substitution in here-document")
+			}
+			for _, name := range heredocVars(r.Heredoc) {
+				ss.Uses[name] = true
+			}
+		}
+	}
+}
+
+// stmtWordUses records the variables a word's expansion reads (and, for
+// ${x=w}, writes), blocking on the order-sensitive special parameters and
+// on expansions that can abort the statement from inside a worker.
+func stmtWordUses(ss *StmtSummary, w *syntax.Word, block func(string, ...interface{})) {
+	syntax.Walk(w, func(n syntax.Node) bool {
+		switch p := n.(type) {
+		case *syntax.ParamExp:
+			switch p.Name {
+			case "?":
+				block("$? depends on the preceding statement's status")
+			case "!":
+				block("$! depends on background job order")
+			case "$":
+				block("$$ differs between worker and parent shells")
+			default:
+				if isVarName(p.Name) {
+					ss.Uses[p.Name] = true
+				}
+				// Positional and the remaining special parameters ($1, $@,
+				// $#...) are read-only here: mutating them takes set/shift,
+				// which block the mutating statement itself.
+			}
+			switch p.Op {
+			case syntax.ParamAssign:
+				if isVarName(p.Name) {
+					ss.Defs[p.Name] = true
+				}
+			case syntax.ParamError:
+				block("${%s?...} may abort the shell", p.Name)
+			}
+		case *syntax.ArithExp:
+			// The expression text may both read and assign (x=1, x++):
+			// treat every identifier as a potential def and use.
+			for _, id := range arithIdents(p.Expr) {
+				ss.Uses[id] = true
+				ss.Defs[id] = true
+			}
+		case *syntax.CmdSubst:
+			block("command substitution runs arbitrary commands")
+			return false
+		}
+		return true
+	})
+}
+
+// redirectsFD reports whether any redirection covers the descriptor.
+func redirectsFD(rs []*syntax.Redirect, fd int) bool {
+	for _, r := range rs {
+		if r.DefaultFD() == fd {
+			return true
+		}
+	}
+	return false
+}
+
+// Interferes reports the hazards that forbid running statement a before-or-
+// concurrently-with statement b out of program order: variable def/use
+// overlaps and filesystem conflicts. dir resolves relative paths. A nil
+// result is the non-interference proof the region builder requires — it
+// means the two statements commute.
+func Interferes(a, b *StmtSummary, aLabel, bLabel, dir string) []Hazard {
+	var hs []Hazard
+	for _, v := range sortedNames(a.Defs) {
+		if b.Defs[v] {
+			hs = append(hs, Hazard{Kind: WriteWrite, Path: "$" + v, A: aLabel, B: bLabel})
+		} else if b.Uses[v] {
+			hs = append(hs, Hazard{Kind: ReadWrite, Path: "$" + v, A: aLabel, B: bLabel})
+		}
+	}
+	for _, v := range sortedNames(b.Defs) {
+		if a.Uses[v] && !a.Defs[v] {
+			hs = append(hs, Hazard{Kind: ReadWrite, Path: "$" + v, A: bLabel, B: aLabel})
+		}
+	}
+	hs = append(hs, Conflicts(a.FS.Normalize(dir), b.FS.Normalize(dir), aLabel, bLabel)...)
+	return hs
+}
+
+func sortedNames(m map[string]bool) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"jash/internal/core"
+	"jash/internal/cost"
+	"jash/internal/dfg"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// seqParallelScript is the 4-statement independent workload: four
+// commands over four disjoint inputs, all writing to stdout. The list
+// planner must prove the statements pairwise non-interfering and run
+// them as one concurrent region whose output replays in program order.
+const seqParallelScript = "grep -c the </w0; grep -c of </w1; wc -l </w2; wc -l </w3\n"
+
+// seqParallelSizes returns the per-statement input sizes: deliberately
+// skewed (1:2:3:4) so the LPT makespan — not an idealized equal split —
+// is what the model reports.
+func seqParallelSizes(total int) [4]int {
+	var sizes [4]int
+	for i := range sizes {
+		sizes[i] = total * (i + 1) / 10
+	}
+	return sizes
+}
+
+func seqParallelFS(total int) *vfs.FS {
+	fs := vfs.New()
+	for i, n := range seqParallelSizes(total) {
+		fs.WriteFile(fmt.Sprintf("/w%d", i), workload.Words(uint64(20+i), n))
+	}
+	return fs
+}
+
+// runSeqParallel fills the report's SeqParallel section. Both runs are
+// real: the sequential one forces NoListParallel, the parallel one must
+// put all four statements in a region, and their stdout, stderr, and
+// status must agree byte-for-byte — that comparison is this experiment's
+// correctness obligation, and any divergence is an error, not a number.
+// The reported Speedup is modelled on the standard 8-core profile
+// (EstimateListRegion's sequential-sum over LPT-makespan), which is
+// deterministic and host-independent; the measured wall times land in
+// the report too so a multi-core host can be read directly.
+func runSeqParallel(rep *ThroughputReport, total int) error {
+	sp := &rep.SeqParallel
+	sp.Statements = 4
+	sp.Bytes = 0
+	for _, n := range seqParallelSizes(total) {
+		sp.Bytes += n
+	}
+
+	type result struct {
+		out, errs string
+		status    int
+		secs      float64
+		shell     *core.Shell
+	}
+	run := func(noListPar bool) (result, error) {
+		sh := core.New(seqParallelFS(total), cost.StandardEC2(), core.ModeJash)
+		sh.NoListParallel = noListPar
+		var out, errb bytes.Buffer
+		sh.Interp.Stdout = &out
+		sh.Interp.Stderr = &errb
+		start := time.Now()
+		status, err := sh.Run(seqParallelScript)
+		secs := time.Since(start).Seconds()
+		if err != nil {
+			return result{}, fmt.Errorf("seq_parallel run: %w", err)
+		}
+		return result{out.String(), errb.String(), status, secs, sh}, nil
+	}
+	seq, err := run(true)
+	if err != nil {
+		return err
+	}
+	par, err := run(false)
+	if err != nil {
+		return err
+	}
+	if par.out != seq.out || par.errs != seq.errs || par.status != seq.status {
+		return fmt.Errorf("seq_parallel: parallel run diverged from sequential:\n  stdout %q vs %q\n  stderr %q vs %q\n  status %d vs %d",
+			par.out, seq.out, par.errs, seq.errs, par.status, seq.status)
+	}
+	if par.shell.Stats.ListParallel != sp.Statements {
+		return fmt.Errorf("seq_parallel: region held %d statements, want %d (decisions: %+v)",
+			par.shell.Stats.ListParallel, sp.Statements, par.shell.Stats.Decisions)
+	}
+	sp.MeasuredSeqSeconds = seq.secs
+	sp.MeasuredParSeconds = par.secs
+
+	// Model the same statements on the standard profile.
+	prof := cost.StandardEC2()
+	sp.Width = cost.ListRegionWidth(sp.Statements, prof.Cores)
+	argvs := [][]string{
+		{"grep", "-c", "the"},
+		{"grep", "-c", "of"},
+		{"wc", "-l"},
+		{"wc", "-l"},
+	}
+	sizes := seqParallelSizes(total)
+	var graphs []*dfg.Graph
+	for i, argv := range argvs {
+		g, err := dfg.FromPipeline([][]string{argv}, lib,
+			dfg.Binding{StdinFile: fmt.Sprintf("/w%d", i)})
+		if err != nil {
+			return fmt.Errorf("seq_parallel model: %w", err)
+		}
+		graphs = append(graphs, g)
+	}
+	facts := cost.Inputs{
+		Size: func(p string) int64 {
+			for i := range sizes {
+				if p == fmt.Sprintf("/w%d", i) {
+					return int64(sizes[i])
+				}
+			}
+			return 0
+		},
+		DeviceOf: func(string) string { return "default" },
+	}
+	seqEst, parEst, err := cost.EstimateListRegion(graphs, facts, prof, sp.Width)
+	if err != nil {
+		return fmt.Errorf("seq_parallel model: %w", err)
+	}
+	sp.ModelSeqSeconds = seqEst.Seconds
+	sp.ModelParSeconds = parEst.Seconds
+	if parEst.Seconds > 0 {
+		sp.Speedup = seqEst.Seconds / parEst.Seconds
+	}
+	return nil
+}

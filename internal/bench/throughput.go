@@ -44,7 +44,35 @@ type ThroughputReport struct {
 		MBPerSec    float64 `json:"mb_per_sec"`
 		AllocsPerMB float64 `json:"allocs_per_mb"`
 	} `json:"filter_chain"`
+	// SeqParallel measures command-list parallelism: a 4-statement
+	// independent grep/wc workload over disjoint inputs, planned by
+	// rewrite.ParallelizeList and executed as a concurrent region with
+	// program-order output replay. Correctness is validated on real runs
+	// on this host (stdout and status byte-identical between the parallel
+	// and the sequential run, all 4 statements proven into a region);
+	// Speedup — the gated primary metric — is the cost model's
+	// sequential-sum over LPT-makespan ratio on the standard 8-core
+	// profile, per the repo's modelled-seconds methodology (Figure 1 does
+	// the same: model at target scale, validate behaviour at real scale).
+	// The measured wall times on the current host are recorded alongside
+	// for transparency; on a single-core CI runner they hover near 1×.
+	SeqParallel struct {
+		Statements         int     `json:"statements"`
+		Bytes              int     `json:"bytes"`
+		Width              int     `json:"width"`
+		MeasuredSeqSeconds float64 `json:"measured_seq_seconds"`
+		MeasuredParSeconds float64 `json:"measured_par_seconds"`
+		ModelSeqSeconds    float64 `json:"model_seq_seconds"`
+		ModelParSeconds    float64 `json:"model_par_seconds"`
+		Speedup            float64 `json:"speedup"`
+	} `json:"seq_parallel"`
 }
+
+// MinSeqParallelSpeedup is the floor the seq_parallel section must clear:
+// the modelled concurrent region must beat the modelled sequential run by
+// at least this factor on the standard profile, or the regression gate
+// fails regardless of the baseline.
+const MinSeqParallelSpeedup = 1.8
 
 // loopScript is the loop-heavy workload: arithmetic and builtins only,
 // so iteration rate isolates dispatch cost from I/O.
@@ -122,20 +150,40 @@ func Throughput(loopIters, corpusBytes int) (*ThroughputReport, error) {
 	rep.Loop.CompiledIterPerSec = co
 	rep.Loop.Speedup = co / tw
 
+	// Streaming metrics take the same best-of-3 treatment as the loop:
+	// a single timed pass on shared hardware swings well past the gate's
+	// tolerance, and the baseline must be reproducible, not lucky.
+	bestPipeline := func(script string) (float64, float64, error) {
+		var topMBs, topAllocs float64
+		for i := 0; i < 3; i++ {
+			mbs, allocs, err := runPipeline(script, corpusBytes)
+			if err != nil {
+				return 0, 0, err
+			}
+			if mbs > topMBs {
+				topMBs, topAllocs = mbs, allocs
+			}
+		}
+		return topMBs, topAllocs, nil
+	}
 	rep.Pipeline.Bytes = corpusBytes
-	mbs, _, err := runPipeline("cat /words | tr A-Z a-z | sort | uniq -c >/freq", corpusBytes)
+	mbs, _, err := bestPipeline("cat /words | tr A-Z a-z | sort | uniq -c >/freq")
 	if err != nil {
 		return nil, err
 	}
 	rep.Pipeline.MBPerSec = mbs
 
 	rep.FilterChain.Bytes = corpusBytes
-	mbs, allocs, err := runPipeline("grep -v zzz </words | tr a-z A-Z | cut -c 1-40 | wc -l >/count", corpusBytes)
+	mbs, allocs, err := bestPipeline("grep -v zzz </words | tr a-z A-Z | cut -c 1-40 | wc -l >/count")
 	if err != nil {
 		return nil, err
 	}
 	rep.FilterChain.MBPerSec = mbs
 	rep.FilterChain.AllocsPerMB = allocs
+
+	if err := runSeqParallel(rep, corpusBytes); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -150,6 +198,10 @@ func (r *ThroughputReport) Rows() []Row {
 			fmt.Sprintf("%.1f MB/s", r.Pipeline.MBPerSec)},
 		{"throughput", sizeName(int64(r.FilterChain.Bytes)), "filters", 0,
 			fmt.Sprintf("%.1f MB/s, %.0f allocs/MB", r.FilterChain.MBPerSec, r.FilterChain.AllocsPerMB)},
+		{"throughput", fmt.Sprintf("list of %d stmts", r.SeqParallel.Statements), "seq-parallel", r.SeqParallel.ModelParSeconds,
+			fmt.Sprintf("%.2fx modelled (width %d), measured %.3fs par / %.3fs seq",
+				r.SeqParallel.Speedup, r.SeqParallel.Width,
+				r.SeqParallel.MeasuredParSeconds, r.SeqParallel.MeasuredSeqSeconds)},
 	}
 }
 
@@ -188,6 +240,14 @@ func (r *ThroughputReport) CheckRegression(baselinePath string, maxRegress float
 	check("loop.speedup", r.Loop.Speedup, base.Loop.Speedup)
 	check("pipeline.mb_per_sec", r.Pipeline.MBPerSec, base.Pipeline.MBPerSec)
 	check("filter_chain.mb_per_sec", r.FilterChain.MBPerSec, base.FilterChain.MBPerSec)
+	check("seq_parallel.speedup", r.SeqParallel.Speedup, base.SeqParallel.Speedup)
+	// Absolute floor, independent of the baseline: the concurrent region
+	// must be worth forming at all on the standard profile.
+	if r.SeqParallel.Speedup < MinSeqParallelSpeedup {
+		failures = append(failures,
+			fmt.Sprintf("seq_parallel.speedup: %.2fx below the %.1fx floor",
+				r.SeqParallel.Speedup, MinSeqParallelSpeedup))
+	}
 	// Inverted: allocations growing past the tolerance is the defect.
 	if was := base.FilterChain.AllocsPerMB; was > 0 && r.FilterChain.AllocsPerMB > was*(1+maxRegress) {
 		failures = append(failures,

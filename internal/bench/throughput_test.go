@@ -22,8 +22,12 @@ func TestThroughputSmoke(t *testing.T) {
 	if rep.Pipeline.MBPerSec <= 0 || rep.FilterChain.MBPerSec <= 0 {
 		t.Fatalf("non-positive throughput: %+v", rep)
 	}
-	if len(rep.Rows()) != 4 {
-		t.Fatalf("Rows() = %d rows, want 4", len(rep.Rows()))
+	if len(rep.Rows()) != 5 {
+		t.Fatalf("Rows() = %d rows, want 5", len(rep.Rows()))
+	}
+	if rep.SeqParallel.Speedup < MinSeqParallelSpeedup {
+		t.Fatalf("seq_parallel modelled speedup %.2fx below the %.1fx floor",
+			rep.SeqParallel.Speedup, MinSeqParallelSpeedup)
 	}
 }
 
@@ -37,6 +41,7 @@ func TestThroughputRegressionGate(t *testing.T) {
 	base.Pipeline.MBPerSec = 100
 	base.FilterChain.MBPerSec = 200
 	base.FilterChain.AllocsPerMB = 40
+	base.SeqParallel.Speedup = 2.5
 	path := filepath.Join(t.TempDir(), "base.json")
 	if err := base.WriteJSON(path); err != nil {
 		t.Fatal(err)

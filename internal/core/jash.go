@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"jash/internal/analysis"
@@ -111,6 +112,11 @@ type Stats struct {
 	// compile: the region failed BreakerThreshold times, so it runs
 	// interpreted until a half-open probe re-admits it after BreakerDecay.
 	Quarantined int
+	// ListParallel counts statements executed inside concurrent list
+	// regions: runs of a `cmd1; cmd2; ...` list (or an unrolled static for
+	// loop) proven pairwise non-interfering and run on worker clones, with
+	// outputs replayed in program order.
+	ListParallel int
 }
 
 // Shell is a Jash session.
@@ -149,10 +155,20 @@ type Shell struct {
 	// package defaults.
 	BreakerThreshold int
 	BreakerDecay     time.Duration
+	// NoListParallel disables command-list parallelism (`jash
+	// -no-list-parallel`): every statement list runs in program order.
+	NoListParallel bool
 	// breakers is the per-region failure ledger, keyed by pipeline text.
 	breakers map[string]*breakerState
 	// now is the breaker's clock; tests override it to step time.
 	now func() time.Time
+
+	// mu serializes the session state the observer mutates — Stats, the
+	// breaker ledger, the profile's burst-credit balance, and the trace
+	// stream. Statements of a concurrent list region run on interpreter
+	// clones that all share this Shell, so their JIT interpositions race
+	// without it.
+	mu sync.Mutex
 
 	Stats Stats
 }
@@ -266,7 +282,7 @@ func (s *Shell) Run(src string) (int, error) {
 		if len(stmts) == 0 {
 			continue
 		}
-		status, err = s.Interp.RunStmts(stmts)
+		status, err = s.runStmtsTop(stmts)
 		if err != nil {
 			return status, err
 		}
@@ -313,12 +329,14 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		if plan, facts, text, ok := s.analyze(in, st, false); ok {
 			seq := plan.Clone()
 			rewrite.RemoveUselessCat(seq)
+			s.mu.Lock()
 			if est, err := cost.EstimateGraph(seq, facts, s.Profile, false); err == nil {
 				s.Stats.VirtualSeconds += est.Seconds
-				s.record(Decision{Pipeline: text, Strategy: "interpret",
+				s.recordLocked(Decision{Pipeline: text, Strategy: "interpret",
 					Reason: "bash mode", EstimatedSeconds: est.Seconds,
 					SequentialSeconds: est.Seconds, InputBytes: totalInput(plan, facts)})
 			}
+			s.mu.Unlock()
 		}
 		return 0, false
 	}
@@ -329,7 +347,7 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	staticOnly := s.Mode == ModePaSh
 	graph, facts, text, ok := s.analyze(in, st, staticOnly)
 	if !ok {
-		s.Stats.Interpreted++
+		s.bumpInterpreted()
 		return 0, false
 	}
 	// Static preflight: a dataflow plan runs every node concurrently, so
@@ -337,24 +355,29 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	// race. Such a region is never compiled — the interpreter's
 	// left-to-right, stage-by-stage semantics are the only safe ones.
 	if hz := analysis.GraphHazards(graph, s.Lib, in.Dir); len(hz) > 0 {
+		s.mu.Lock()
 		s.Stats.Interpreted++
 		s.Stats.HazardRejects++
-		s.record(Decision{Pipeline: text, Strategy: "hazard-reject",
+		s.recordLocked(Decision{Pipeline: text, Strategy: "hazard-reject",
 			Reason: hz[0].String()})
+		s.mu.Unlock()
 		return 0, false
 	}
 	// JIT circuit breaker: a region that keeps failing at runtime is not
 	// re-compiled forever — after BreakerThreshold failures it is
 	// quarantined to the interpreter until the decay interval admits a
 	// half-open probe.
+	s.mu.Lock()
 	if s.quarantined(text) {
 		_, decay := s.breakerLimits()
 		s.Stats.Interpreted++
 		s.Stats.Quarantined++
-		s.record(Decision{Pipeline: text, Strategy: "quarantine",
+		s.recordLocked(Decision{Pipeline: text, Strategy: "quarantine",
 			Reason: fmt.Sprintf("region failed %d times; interpreting (half-open probe after %v)", s.breakers[text].failures, decay)})
+		s.mu.Unlock()
 		return 0, false
 	}
+	s.mu.Unlock()
 	var chosen *dfg.Graph
 	var dec rewrite.Decision
 	var err error
@@ -365,14 +388,16 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		chosen, dec, err = rewrite.JashPlan(graph, facts, s.Profile)
 	}
 	if err != nil {
-		s.Stats.Interpreted++
+		s.bumpInterpreted()
 		return 0, false
 	}
 	planning := time.Since(start)
 	// Charge the model for the chosen plan, consuming burst credits.
+	s.mu.Lock()
 	est, err := cost.EstimateGraph(chosen, facts, s.Profile, false)
 	if err != nil {
 		s.Stats.Interpreted++
+		s.mu.Unlock()
 		return 0, false
 	}
 	s.Stats.VirtualSeconds += est.Seconds
@@ -393,8 +418,9 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	if dev, okd := s.Profile.Devices["default"]; okd {
 		d.BurstCreditsBefore = dev.Credits
 	}
-	s.record(d)
+	di := s.recordLocked(d)
 	s.Stats.Optimized++
+	s.mu.Unlock()
 	// Execute the plan for real over the VFS, through the incremental
 	// cache when one is attached.
 	metrics := &exec.RunMetrics{}
@@ -427,10 +453,10 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		status, runErr = exec.RunContext(ctx, chosen, env)
 	}
 	// Attach the measured counters to the decision recorded above.
-	if len(s.Stats.Decisions) > 0 {
-		s.Stats.Decisions[len(s.Stats.Decisions)-1].Nodes = metrics.Nodes
-	}
+	s.mu.Lock()
+	s.Stats.Decisions[di].Nodes = metrics.Nodes
 	s.Stats.Retries += metrics.Retries
+	s.mu.Unlock()
 	if runErr != nil {
 		// External cancellation is a user-imposed bound, not a plan defect:
 		// surface it (timeout convention, status 124) instead of re-running
@@ -440,41 +466,46 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 			return 124, true
 		}
+		s.mu.Lock()
 		s.breakerFailure(text)
+		s.Stats.Fallbacks++
+		d := &s.Stats.Decisions[di]
+		d.Strategy = "fallback-interpret"
 		// Fallback-before-first-byte: if the failed plan emitted nothing,
 		// the interpreter can re-run the pipeline from pristine state —
 		// the paper's no-regression rule extended to faults. Analyze
 		// already guaranteed every source is a regular file (never live
 		// stdin), so the re-run reads the same inputs.
 		if metrics.SinkBytes == 0 {
-			s.Stats.Fallbacks++
-			if len(s.Stats.Decisions) > 0 {
-				d := &s.Stats.Decisions[len(s.Stats.Decisions)-1]
-				d.Strategy = "fallback-interpret"
-				d.Reason = fmt.Sprintf("plan failed before first output byte (%v); re-run via interpreter", runErr)
-			}
+			d.Reason = fmt.Sprintf("plan failed before first output byte (%v); re-run via interpreter", runErr)
 			if s.Trace != nil {
 				fmt.Fprintf(s.Trace, "jash[%s]: plan failed (%v); falling back to interpreter\n", s.Mode, runErr)
 			}
+			s.mu.Unlock()
 			return 0, false
 		}
 		// Journaled mid-stream fallback: the sink committed a line-aligned
 		// prefix (SinkBytes is its exact length), so the interpreter can
 		// re-run the pipeline and skip the committed bytes instead of
 		// giving up — no duplicated and no missing lines.
-		s.Stats.Fallbacks++
-		if len(s.Stats.Decisions) > 0 {
-			d := &s.Stats.Decisions[len(s.Stats.Decisions)-1]
-			d.Strategy = "fallback-interpret"
-			d.Reason = fmt.Sprintf("plan failed mid-stream (%v) after %d committed bytes; journaled re-run via interpreter", runErr, metrics.SinkBytes)
-		}
+		d.Reason = fmt.Sprintf("plan failed mid-stream (%v) after %d committed bytes; journaled re-run via interpreter", runErr, metrics.SinkBytes)
 		if s.Trace != nil {
 			fmt.Fprintf(s.Trace, "jash[%s]: plan failed mid-stream (%v); journaled fallback skipping %d bytes\n", s.Mode, runErr, metrics.SinkBytes)
 		}
+		s.mu.Unlock()
 		return s.replayJournaled(in, st, chosen, metrics.SinkBytes)
 	}
+	s.mu.Lock()
 	s.breakerSuccess(text)
+	s.mu.Unlock()
 	return status, true
+}
+
+// bumpInterpreted counts one pipeline left to the interpreter.
+func (s *Shell) bumpInterpreted() {
+	s.mu.Lock()
+	s.Stats.Interpreted++
+	s.mu.Unlock()
 }
 
 // skipWriter discards the first skip bytes it is handed and passes the
@@ -573,12 +604,23 @@ func stripStdoutRedir(st *syntax.Stmt) *syntax.Stmt {
 	return &stCopy
 }
 
-func (s *Shell) record(d Decision) {
+// record appends a decision under the session lock and returns its index,
+// so callers can attach measured counters later without racing other
+// region workers' appends.
+func (s *Shell) record(d Decision) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recordLocked(d)
+}
+
+// recordLocked is record for callers already holding s.mu.
+func (s *Shell) recordLocked(d Decision) int {
 	s.Stats.Decisions = append(s.Stats.Decisions, d)
 	if s.Trace != nil {
 		fmt.Fprintf(s.Trace, "jash[%s]: %s -> %s width=%d est=%.3fs (%s)\n",
 			s.Mode, d.Pipeline, d.Strategy, d.Width, d.EstimatedSeconds, d.Reason)
 	}
+	return len(s.Stats.Decisions) - 1
 }
 
 // analyze checks eligibility and, if the pipeline qualifies, expands it

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"jash/internal/interp"
+	"jash/internal/rewrite"
+	"jash/internal/syntax"
+)
+
+// runStmtsTop dispatches one parsed command unit — the `cmd1; cmd2; ...`
+// statement list of a single line — through the list parallelizer before
+// interpreting it. This is the second interposition point of the JIT (the
+// first, Shell.observe, sees individual pipelines): at this level whole
+// statements can be proven to commute and run concurrently, with their
+// outputs journaled per statement and replayed in program order, so the
+// observable behaviour — stdout bytes, stderr bytes, exit status —
+// is identical to the sequential run.
+//
+// The gates mirror the paper's sound-by-construction posture: anything the
+// effect system cannot prove stays in program order. A whole unit also
+// stays sequential when the interpreter state makes reordering visible at
+// all — set -e (a failing statement must suppress its successors), any
+// installed trap (handlers observe $? mid-list), or incremental mode
+// (the memoizer keys on sequential replay).
+func (s *Shell) runStmtsTop(stmts []*syntax.Stmt) (int, error) {
+	in := s.Interp
+	if s.Mode != ModeJash || s.NoListParallel || s.Incremental != nil ||
+		in.ErrExit || len(in.Traps) > 0 {
+		return in.RunStmts(stmts)
+	}
+	// A single compound statement may still hide a list the planner can
+	// partition: `{ a; b; c; }` flattens, and a static `for` loop over
+	// literal words unrolls into one statement per item (the classic
+	// per-file loop, §3.2's "most common parallelization opportunity").
+	cand := stmts
+	loopVar, loopLast := "", ""
+	if len(stmts) == 1 {
+		if body, ok := rewrite.FlattenBrace(stmts[0]); ok {
+			cand = body
+		} else if fc := soleForClause(stmts[0]); fc != nil {
+			if un, last, ok := rewrite.UnrollFor(fc); ok {
+				cand = un
+				loopVar, loopLast = fc.Name, last
+			}
+		}
+	}
+	if len(cand) < 2 {
+		return in.RunStmts(stmts)
+	}
+	plan, dec := rewrite.ParallelizeList(cand, rewrite.ListOptions{
+		Lib:   s.Lib,
+		Dir:   in.Dir,
+		Cores: s.Profile.Cores,
+		IsFunc: func(name string) bool {
+			_, ok := in.Funcs[name]
+			return ok
+		},
+		IsReadonly: func(name string) bool { return in.Vars[name].ReadOnly },
+	})
+	if !dec.Parallel {
+		// Refusals of multi-statement lists are recorded for jashexplain
+		// and -stats; the list then runs exactly as before.
+		s.record(Decision{Pipeline: listLabel(cand), Strategy: "sequential-list",
+			Reason: dec.Reason})
+		return in.RunStmts(stmts)
+	}
+	di := s.record(Decision{Pipeline: listLabel(cand), Strategy: "parallel-list",
+		Width: dec.Width, Reason: dec.Reason})
+	s.mu.Lock()
+	s.Stats.ListParallel += dec.Statements
+	s.mu.Unlock()
+	status, err := 0, error(nil)
+	for _, g := range plan.Groups {
+		if !g.Parallel {
+			status, err = in.RunStmts(g.Stmts)
+		} else {
+			status, err = s.runParallelGroup(in, g)
+		}
+		if err != nil || in.Exited {
+			break
+		}
+	}
+	if err == nil && loopVar != "" && !in.Exited {
+		// POSIX leaves the loop variable bound to the last item.
+		in.Setenv(loopVar, loopLast)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.Stats.Decisions[di].Reason += fmt.Sprintf(" (region aborted: %v)", err)
+		s.mu.Unlock()
+	}
+	return status, err
+}
+
+// listWorker is one statement's execution state inside a parallel group.
+type listWorker struct {
+	stdout bytes.Buffer
+	stderr bytes.Buffer
+	clone  *interp.Interp
+	status int
+	err    error
+}
+
+// runParallelGroup executes a proven-non-interfering run of statements
+// concurrently and replays their observable effects in program order.
+// Each statement runs on its own interpreter clone (the observer stays
+// attached, so inner pipelines still JIT, retry, and journal-fallback
+// exactly as they would sequentially) with its stdout and stderr
+// journaled to per-statement buffers. When every worker has finished, the
+// buffers are flushed to the session streams in program order, the
+// disjoint variable definitions are merged back, and $? becomes the last
+// statement's status — byte-for-byte and status-for-status what the
+// sequential run produces.
+func (s *Shell) runParallelGroup(in *interp.Interp, g rewrite.ListGroup) (int, error) {
+	workers := make([]*listWorker, len(g.Stmts))
+	for i := range workers {
+		w := &listWorker{clone: in.Subshell()}
+		// The summaries proved no statement reads shared stdin; an empty
+		// reader makes any escape deterministic instead of a stream race.
+		w.clone.Stdin = strings.NewReader("")
+		w.clone.Stdout = &w.stdout
+		w.clone.Stderr = &w.stderr
+		workers[i] = w
+	}
+	sem := make(chan struct{}, g.Width)
+	var wg sync.WaitGroup
+	for i, st := range g.Stmts {
+		wg.Add(1)
+		go func(w *listWorker, st *syntax.Stmt) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			w.status, w.err = w.clone.RunStmts([]*syntax.Stmt{st})
+		}(workers[i], st)
+	}
+	wg.Wait()
+	// Replay in program order. A fatal error in statement k reproduces the
+	// sequential prefix: statements before k replay fully, k's own output
+	// and diagnostic replay, and later statements' output is suppressed
+	// (their side effects were proven disjoint, so dropping the bytes is
+	// the closest match to "never ran").
+	status := 0
+	for i, w := range workers {
+		in.Stdout.Write(w.stdout.Bytes())
+		in.Stderr.Write(w.stderr.Bytes())
+		status = w.status
+		for _, name := range g.Defs[i] {
+			if v, ok := w.clone.Vars[name]; ok {
+				in.Vars[name] = v
+			}
+		}
+		if w.err != nil {
+			in.Status = w.status
+			return w.status, w.err
+		}
+	}
+	in.Status = status
+	return status, nil
+}
+
+// soleForClause unwraps a statement that is exactly one for loop.
+func soleForClause(st *syntax.Stmt) *syntax.ForClause {
+	if st == nil || st.Background || st.AndOr == nil || len(st.AndOr.Rest) > 0 {
+		return nil
+	}
+	pl := st.AndOr.First
+	if pl == nil || pl.Negated || len(pl.Cmds) != 1 {
+		return nil
+	}
+	fc, _ := pl.Cmds[0].(*syntax.ForClause)
+	return fc
+}
+
+// listLabel abbreviates a statement list for decision records.
+func listLabel(stmts []*syntax.Stmt) string {
+	var parts []string
+	for _, st := range stmts {
+		one := strings.Join(strings.Fields(syntax.PrintStmts([]*syntax.Stmt{st})), " ")
+		parts = append(parts, one)
+	}
+	text := strings.Join(parts, "; ")
+	if len(text) > 60 {
+		text = text[:57] + "..."
+	}
+	return fmt.Sprintf("list[%d]: %s", len(stmts), text)
+}

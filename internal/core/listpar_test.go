@@ -1,0 +1,190 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jash/internal/cost"
+	"jash/internal/vfs"
+)
+
+// seedListFS writes the disjoint inputs the list-region tests share.
+func seedListFS() *vfs.FS {
+	fs := vfs.New()
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for i, w := range words {
+		var b strings.Builder
+		for j := 0; j < 200+50*i; j++ {
+			b.WriteString(w)
+			b.WriteString(" line\n")
+		}
+		fs.WriteFile("/w"+string(rune('0'+i)), []byte(b.String()))
+	}
+	return fs
+}
+
+// runBoth runs the same script with list parallelism on and off and
+// checks stdout, stderr, and status are byte-identical.
+func runBoth(t *testing.T, fs func() *vfs.FS, script string) (*Shell, string) {
+	t.Helper()
+	par, pout, perr := newShell(fs(), cost.StandardEC2(), ModeJash)
+	pst, perrr := par.Run(script)
+	seq, sout, serr := newShell(fs(), cost.StandardEC2(), ModeJash)
+	seq.NoListParallel = true
+	sst, serrr := seq.Run(script)
+	if (perrr == nil) != (serrr == nil) {
+		t.Fatalf("error divergence: parallel=%v sequential=%v", perrr, serrr)
+	}
+	if pst != sst {
+		t.Fatalf("status divergence: parallel=%d sequential=%d", pst, sst)
+	}
+	if pout.String() != sout.String() {
+		t.Fatalf("stdout divergence:\nparallel:   %q\nsequential: %q", pout.String(), sout.String())
+	}
+	if perr.String() != serr.String() {
+		t.Fatalf("stderr divergence:\nparallel:   %q\nsequential: %q", perr.String(), serr.String())
+	}
+	return par, pout.String()
+}
+
+func TestListParallelIndependentStatements(t *testing.T) {
+	sh, _ := runBoth(t, seedListFS,
+		"grep -c alpha /w0; grep -c beta /w1; grep -c gamma /w2; grep -c delta /w3\n")
+	if sh.Stats.ListParallel != 4 {
+		t.Fatalf("ListParallel=%d, want 4; decisions=%+v", sh.Stats.ListParallel, sh.Stats.Decisions)
+	}
+	d, ok := findDecision(sh, "parallel-list")
+	if !ok {
+		t.Fatalf("no parallel-list decision recorded: %+v", sh.Stats.Decisions)
+	}
+	if d.Width < 2 {
+		t.Fatalf("parallel-list width=%d", d.Width)
+	}
+}
+
+func TestListParallelOutputOrderIsProgramOrder(t *testing.T) {
+	// Each statement writes a distinct marker; the replay must interleave
+	// nothing and preserve program order exactly.
+	sh, out := runBoth(t, seedListFS,
+		"grep -c alpha /w0; grep -c beta /w1; grep -c gamma /w2; grep -c delta /w3\n")
+	if out != "200\n250\n300\n350\n" {
+		t.Fatalf("replay order wrong: %q", out)
+	}
+	if sh.Stats.ListParallel == 0 {
+		t.Fatal("region never formed")
+	}
+}
+
+func TestListParallelStatusIsLastStatement(t *testing.T) {
+	// grep with no match exits 1; the list's $? is the last statement's.
+	sh, _ := runBoth(t, seedListFS,
+		"grep -c alpha /w0; grep -c zeta /w1\necho st=$?\n")
+	if sh.Stats.ListParallel != 2 {
+		t.Fatalf("ListParallel=%d decisions=%+v", sh.Stats.ListParallel, sh.Stats.Decisions)
+	}
+}
+
+func TestListParallelDefsMergeBack(t *testing.T) {
+	sh, out := runBoth(t, seedListFS, "x=one; y=two; z=three\necho $x $y $z\n")
+	if out != "one two three\n" {
+		t.Fatalf("defs lost: %q", out)
+	}
+	if sh.Stats.ListParallel != 3 {
+		t.Fatalf("ListParallel=%d decisions=%+v", sh.Stats.ListParallel, sh.Stats.Decisions)
+	}
+}
+
+func TestListParallelForLoopUnrolls(t *testing.T) {
+	fs := func() *vfs.FS {
+		f := seedListFS()
+		return f
+	}
+	sh, _ := runBoth(t, fs, "for f in /w0 /w1 /w2; do wc -l $f >$f.n; done\ncat /w0.n /w1.n /w2.n\necho last=$f\n")
+	if sh.Stats.ListParallel != 3 {
+		t.Fatalf("loop not unrolled: ListParallel=%d decisions=%+v",
+			sh.Stats.ListParallel, sh.Stats.Decisions)
+	}
+}
+
+func TestListParallelBraceGroupFlattens(t *testing.T) {
+	sh, _ := runBoth(t, seedListFS, "{ grep -c alpha /w0; grep -c beta /w1; }\n")
+	if sh.Stats.ListParallel != 2 {
+		t.Fatalf("brace group not flattened: ListParallel=%d decisions=%+v",
+			sh.Stats.ListParallel, sh.Stats.Decisions)
+	}
+}
+
+func TestListParallelRefusesInterference(t *testing.T) {
+	sh, _ := runBoth(t, seedListFS, "sort /w0 >/mid; grep -c alpha /mid\n")
+	if sh.Stats.ListParallel != 0 {
+		t.Fatal("read-after-write list entered a region")
+	}
+	if d, ok := findDecision(sh, "sequential-list"); !ok || !strings.Contains(d.Reason, "/mid") {
+		t.Fatalf("refusal not recorded with the hazard path: %+v", sh.Stats.Decisions)
+	}
+}
+
+func TestListParallelRefusesUnderErrExit(t *testing.T) {
+	sh, _ := runBoth(t, seedListFS, "set -e\ngrep -c alpha /w0; grep -c beta /w1\n")
+	if sh.Stats.ListParallel != 0 {
+		t.Fatal("set -e list entered a region")
+	}
+}
+
+func TestListParallelRefusesUnderTrap(t *testing.T) {
+	sh, _ := runBoth(t, seedListFS, "trap 'echo bye' EXIT\ngrep -c alpha /w0; grep -c beta /w1\n")
+	if sh.Stats.ListParallel != 0 {
+		t.Fatal("trapped list entered a region")
+	}
+}
+
+func TestListParallelDisabledByFlag(t *testing.T) {
+	fs := seedListFS()
+	sh, out, _ := newShell(fs, cost.StandardEC2(), ModeJash)
+	sh.NoListParallel = true
+	if st, err := sh.Run("grep -c alpha /w0; grep -c beta /w1\n"); st != 0 || err != nil {
+		t.Fatalf("st=%d err=%v", st, err)
+	}
+	if sh.Stats.ListParallel != 0 {
+		t.Fatal("NoListParallel ignored")
+	}
+	if out.String() != "200\n250\n" {
+		t.Fatalf("out=%q", out.String())
+	}
+}
+
+func TestListParallelInnerPipelinesStillJIT(t *testing.T) {
+	// Statements inside a region are full pipelines: the observer on each
+	// worker clone must still get to optimize them.
+	fs := seedListFS()
+	sh, out, _ := newShell(fs, cost.StandardEC2(), ModeJash)
+	script := "cat /w0 | tr a-z A-Z | grep -c ALPHA >/o0; cat /w1 | tr a-z A-Z | grep -c BETA >/o1\ncat /o0 /o1\n"
+	if st, err := sh.Run(script); st != 0 || err != nil {
+		t.Fatalf("st=%d err=%v", st, err)
+	}
+	if out.String() != "200\n250\n" {
+		t.Fatalf("out=%q", out.String())
+	}
+	if sh.Stats.ListParallel != 2 {
+		t.Fatalf("ListParallel=%d decisions=%+v", sh.Stats.ListParallel, sh.Stats.Decisions)
+	}
+	if sh.Stats.Optimized == 0 {
+		t.Fatal("inner pipelines never reached the JIT")
+	}
+}
+
+func TestListParallelStderrReplaysInOrder(t *testing.T) {
+	// grep on a missing file diagnoses to stderr; the diagnostic must land
+	// in program order like stdout does.
+	fs := func() *vfs.FS { return seedListFS() }
+	_, _ = runBoth(t, fs, "grep -c alpha /w0; grep -c beta /missing; grep -c gamma /w2\n")
+}
+
+func findDecision(s *Shell, strategy string) (Decision, bool) {
+	for _, d := range s.Stats.Decisions {
+		if d.Strategy == strategy {
+			return d, true
+		}
+	}
+	return Decision{}, false
+}

@@ -659,6 +659,12 @@ func TestSed(t *testing.T) {
 	if out != "1\n2\n" {
 		t.Errorf("sed 2q: %q", out)
 	}
+	// An overflowing line address used to parse as 0 (Atoi error dropped)
+	// and silently match nothing; it must be a diagnosed parse error.
+	_, errs, st := run(t, vfs.New(), "a\nb\n", "sed", "99999999999999999999d")
+	if st == 0 || !strings.Contains(errs, "invalid line address") {
+		t.Errorf("sed overflow address: st=%d errs=%q, want failure", st, errs)
+	}
 }
 
 func TestAwk(t *testing.T) {
@@ -950,8 +956,32 @@ func TestCutErrors(t *testing.T) {
 	if _, _, st := run(t, vfs.New(), "x\n", "cut"); st != 2 {
 		t.Error("cut without -c/-f should fail")
 	}
-	if _, _, st := run(t, vfs.New(), "x\n", "cut", "-c", "5-2"); st != 2 {
-		t.Error("inverted range should fail")
+	// List errors match GNU cut: a specific diagnostic and exit status 1.
+	cases := []struct {
+		list string
+		want string
+	}{
+		{"5-2", "invalid decreasing range"},
+		{"0", "fields are numbered from 1"},
+		{"-0", "fields are numbered from 1"},
+		{"0-3", "fields are numbered from 1"},
+		{"99999999999999999999", "is too large"},
+		{"2-99999999999999999999", "is too large"},
+		{"x", "invalid field value"},
+	}
+	for _, tc := range cases {
+		_, errs, st := run(t, vfs.New(), "x\n", "cut", "-f", tc.list)
+		if st != 1 {
+			t.Errorf("cut -f %q: status %d, want 1", tc.list, st)
+		}
+		if !strings.Contains(errs, tc.want) {
+			t.Errorf("cut -f %q: diagnostic %q missing %q", tc.list, errs, tc.want)
+		}
+	}
+	// Character mode names positions, not fields.
+	_, errs, st := run(t, vfs.New(), "x\n", "cut", "-c", "0")
+	if st != 1 || !strings.Contains(errs, "byte/character positions are numbered from 1") {
+		t.Errorf("cut -c 0: st=%d errs=%q", st, errs)
 	}
 	// Field mode passes through lines without the delimiter.
 	out, _, _ := run(t, vfs.New(), "no-tabs-here\n", "cut", "-f", "2")

@@ -3,6 +3,7 @@ package coreutils
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"regexp"
@@ -348,39 +349,65 @@ func bufReader(r io.Reader) io.Reader { return r }
 // cutRange is a half-open [lo, hi] 1-based inclusive range.
 type cutRange struct{ lo, hi int }
 
-func parseCutList(spec string) ([]cutRange, error) {
+// parseCutList parses a -c/-f LIST. what names the unit ("field" or
+// "byte/character position") so the diagnostics match GNU cut's: zero
+// endpoints ("fields are numbered from 1"), reversed ranges ("invalid
+// decreasing range"), and overflowing numbers ("... is too large") each
+// get their own message instead of a leaked strconv error.
+func parseCutList(spec, what string) ([]cutRange, error) {
+	number := func(s string) (int, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			if errors.Is(err, strconv.ErrRange) {
+				return 0, fmt.Errorf("%s number %q is too large", what, s)
+			}
+			return 0, fmt.Errorf("invalid %s value %q", what, s)
+		}
+		if n < 0 {
+			// A leading dash was already split off as a range, so a
+			// negative here is a double dash or similar malformation.
+			return 0, fmt.Errorf("invalid %s value %q", what, s)
+		}
+		return n, nil
+	}
 	var ranges []cutRange
 	for _, part := range strings.Split(spec, ",") {
 		if part == "" {
 			continue
 		}
 		lo, hi := 1, 1<<30
+		openHi := true
 		if dash := strings.IndexByte(part, '-'); dash >= 0 {
 			var err error
 			if dash > 0 {
-				if lo, err = strconv.Atoi(part[:dash]); err != nil {
+				if lo, err = number(part[:dash]); err != nil {
 					return nil, err
 				}
 			}
 			if dash < len(part)-1 {
-				if hi, err = strconv.Atoi(part[dash+1:]); err != nil {
+				if hi, err = number(part[dash+1:]); err != nil {
 					return nil, err
 				}
+				openHi = false
 			}
 		} else {
-			n, err := strconv.Atoi(part)
+			n, err := number(part)
 			if err != nil {
 				return nil, err
 			}
 			lo, hi = n, n
+			openHi = false
 		}
-		if lo < 1 || hi < lo {
-			return nil, fmt.Errorf("invalid range %q", part)
+		if lo == 0 || (!openHi && hi == 0) {
+			return nil, fmt.Errorf("%ss are numbered from 1", what)
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("invalid decreasing range %q", part)
 		}
 		ranges = append(ranges, cutRange{lo, hi})
 	}
 	if len(ranges) == 0 {
-		return nil, fmt.Errorf("empty list")
+		return nil, fmt.Errorf("you must specify a list of %ss", what)
 	}
 	return ranges, nil
 }
@@ -402,9 +429,11 @@ func cutCmd(c *Context, args []string) int {
 	defer func() { putBlock(scratch) }()
 	switch {
 	case has(flags, 'c'):
-		ranges, err := parseCutList(flags['c'])
+		// List errors exit 1 with the GNU diagnostic, not the generic
+		// usage status.
+		ranges, err := parseCutList(flags['c'], "byte/character position")
 		if err != nil {
-			return c.Errorf(2, "cut: %v", err)
+			return c.Errorf(1, "cut: %v", err)
 		}
 		e := c.forEachLine(concatReaders(rs), func(line []byte) error {
 			scratch = scratch[:0]
@@ -425,9 +454,9 @@ func cutCmd(c *Context, args []string) int {
 			return c.Errorf(1, "cut: %v", e)
 		}
 	case has(flags, 'f'):
-		ranges, err := parseCutList(flags['f'])
+		ranges, err := parseCutList(flags['f'], "field")
 		if err != nil {
-			return c.Errorf(2, "cut: %v", err)
+			return c.Errorf(1, "cut: %v", err)
 		}
 		delim := byte('\t')
 		if v, ok := flags['d']; ok && v != "" {

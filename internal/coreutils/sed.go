@@ -256,7 +256,13 @@ func parseSedCommand(src string) (sedCommand, error) {
 		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
 			j++
 		}
-		n, _ := strconv.Atoi(s[:j])
+		n, err := strconv.Atoi(s[:j])
+		if err != nil {
+			// Digits only reach here, so the sole failure is overflow —
+			// which previously parsed as address 0 and silently matched
+			// no line at all.
+			return cmd, fmt.Errorf("invalid line address %q in %q", s[:j], src)
+		}
 		cmd.addrLine = n
 		s = s[j:]
 	case strings.HasPrefix(s, "$"):

@@ -240,6 +240,20 @@ func EstimateGraph(g *dfg.Graph, in Inputs, prof *Profile, ephemeral bool) (Esti
 				edgeVol[e] = input / float64(len(outs))
 			}
 			continue
+		case dfg.KindTee:
+			// Fan-out copies the whole stream to every consumer.
+			for _, e := range outs {
+				edgeVol[e] = input
+			}
+			continue
+		case dfg.KindAgg:
+			// Sum and count reduce to a single line; unordered-unique can
+			// in the worst case pass every distinct input line through.
+			if n.AggOp == dfg.AggOpUnique {
+				output = input
+			} else {
+				output = 0
+			}
 		case dfg.KindMerge, dfg.KindSink:
 			output = input
 		}
@@ -311,13 +325,17 @@ func EstimateGraph(g *dfg.Graph, in Inputs, prof *Profile, ephemeral bool) (Esti
 				if n.Path != "" {
 					addIO(in.device(n.Path), nodeIn[n.ID])
 				}
-			case dfg.KindCommand, dfg.KindMerge:
-				factor := 2.0 // merge default: comparable to a cheap filter
+			case dfg.KindCommand, dfg.KindMerge, dfg.KindAgg, dfg.KindTee:
+				factor := 2.0 // merge/agg default: comparable to a cheap filter
 				if n.Kind == dfg.KindCommand && n.Spec != nil {
 					factor = n.Spec.CPUFactor
 				}
 				if n.Kind == dfg.KindMerge && n.Agg == spec.AggConcat {
 					factor = 0.5 // concatenation is nearly free
+				}
+				if n.Kind == dfg.KindTee {
+					// A tee is a copy per consumer.
+					factor = 0.5 * float64(len(g.Out(n.ID)))
 				}
 				t := nodeIn[n.ID] * factor / prof.BaseRate
 				cpuWork += t

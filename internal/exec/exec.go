@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -251,7 +252,7 @@ func retryEligible(n *dfg.Node, lib *spec.Library) bool {
 	switch n.Kind {
 	case dfg.KindSource:
 		return n.Path != "" // live stdin does not replay
-	case dfg.KindSplit, dfg.KindMerge:
+	case dfg.KindSplit, dfg.KindMerge, dfg.KindTee, dfg.KindAgg:
 		return true
 	case dfg.KindCommand:
 		return lib != nil && !analysis.SummarizeArgv(lib, n.Argv).WritesAnything()
@@ -731,6 +732,10 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 					return runSplit(n, inReaders[0], outWriters, closers, splitLaneTarget(g, n, env))
 				case dfg.KindMerge:
 					return runMerge(n, inReaders, outWriters[0], env)
+				case dfg.KindTee:
+					return runTee(inReaders[0], outWriters)
+				case dfg.KindAgg:
+					return runAgg(n, inReaders, outWriters[0], env)
 				case dfg.KindCommand:
 					cmdEnv := env
 					if laneNodes[n.ID] {
@@ -1010,41 +1015,126 @@ func runMerge(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
 		}
 		return coreutils.MergeSortedStreams(ctx, n.Argv, ins)
 	case spec.AggSum:
-		// Sum whitespace-separated numeric columns across lanes, scanning
-		// each lane line by line. A non-numeric field means the lanes did
-		// not produce the bare numeric rows this aggregation was planned
-		// for; silently skipping it would commit an answer the sequential
-		// interpreter would never produce. Abort the plan instead — no
-		// sink byte has escaped yet, so the caller falls back to the
-		// interpreter and the two paths agree by construction.
-		var sums []int64
+		return sumStreams(ins, out, env)
+	}
+	return 1
+}
+
+// sumStreams sums whitespace-separated numeric columns across lane
+// streams, scanning each lane line by line. A non-numeric field means the
+// lanes did not produce the bare numeric rows this aggregation was planned
+// for; silently skipping it would commit an answer the sequential
+// interpreter would never produce. Abort the plan instead — no sink byte
+// has escaped yet, so the caller falls back to the interpreter and the two
+// paths agree by construction.
+func sumStreams(ins []io.Reader, out io.Writer, env *Env) int {
+	var sums []int64
+	for _, r := range ins {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 64<<10), 16<<20)
+		for sc.Scan() {
+			for i, f := range strings.Fields(sc.Text()) {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					if env.abort != nil {
+						env.abort(fmt.Errorf("sum merge: non-numeric field %q in lane output", f))
+					}
+					return 1
+				}
+				for len(sums) <= i {
+					sums = append(sums, 0)
+				}
+				sums[i] += v
+			}
+		}
+		if sc.Err() != nil {
+			return 1
+		}
+	}
+	parts := make([]string, len(sums))
+	for i, s := range sums {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	fmt.Fprintln(out, strings.Join(parts, " "))
+	return 0
+}
+
+// runTee copies its one input stream to every output lane, so N consumers
+// share a single read of the data instead of re-reading it N times. A
+// consumer that hangs up stops receiving (its lane goes dead) without
+// disturbing the rest; the tee itself only fails when the input errors.
+func runTee(in io.Reader, outs []io.Writer) int {
+	dead := make([]bool, len(outs))
+	deadCount := 0
+	buf := make([]byte, 64<<10)
+	for {
+		nr, err := in.Read(buf)
+		if nr > 0 {
+			for i, w := range outs {
+				if dead[i] {
+					continue
+				}
+				if _, werr := w.Write(buf[:nr]); werr != nil {
+					dead[i] = true
+					deadCount++
+					if deadCount == len(outs) {
+						return 0 // every consumer hung up
+					}
+				}
+			}
+		}
+		switch err {
+		case nil:
+		case io.EOF:
+			return 0
+		default:
+			return 1
+		}
+	}
+}
+
+// runAgg folds lane streams with a commutative operator. Sum shares the
+// merge aggregator's column arithmetic; count and unordered-unique are the
+// other two reductions whose result is independent of lane arrival order —
+// which is exactly why a tee/agg region needs no ordering machinery.
+func runAgg(n *dfg.Node, ins []io.Reader, out io.Writer, env *Env) int {
+	switch n.AggOp {
+	case dfg.AggOpSum:
+		return sumStreams(ins, out, env)
+	case dfg.AggOpCount:
+		var total int64
 		for _, r := range ins {
 			sc := bufio.NewScanner(r)
 			sc.Buffer(make([]byte, 64<<10), 16<<20)
 			for sc.Scan() {
-				for i, f := range strings.Fields(sc.Text()) {
-					v, err := strconv.ParseInt(f, 10, 64)
-					if err != nil {
-						if env.abort != nil {
-							env.abort(fmt.Errorf("sum merge: non-numeric field %q in lane output", f))
-						}
-						return 1
-					}
-					for len(sums) <= i {
-						sums = append(sums, 0)
-					}
-					sums[i] += v
-				}
+				total++
 			}
 			if sc.Err() != nil {
 				return 1
 			}
 		}
-		parts := make([]string, len(sums))
-		for i, s := range sums {
-			parts[i] = strconv.FormatInt(s, 10)
+		fmt.Fprintln(out, total)
+		return 0
+	case dfg.AggOpUnique:
+		seen := map[string]bool{}
+		for _, r := range ins {
+			sc := bufio.NewScanner(r)
+			sc.Buffer(make([]byte, 64<<10), 16<<20)
+			for sc.Scan() {
+				seen[sc.Text()] = true
+			}
+			if sc.Err() != nil {
+				return 1
+			}
 		}
-		fmt.Fprintln(out, strings.Join(parts, " "))
+		lines := make([]string, 0, len(seen))
+		for l := range seen {
+			lines = append(lines, l)
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			fmt.Fprintln(out, l)
+		}
 		return 0
 	}
 	return 1

@@ -197,6 +197,49 @@ func TestCompiledDifferentialSubshells(t *testing.T) {
 	}
 }
 
+// TestCompiledDifferentialLocalGetoptsInLoops audits the compiled-closure
+// cache on the two builtins whose correctness depends on per-call shell
+// state rather than the cached body: `local` must save and restore its
+// shadowed bindings on every function return even when the body closure
+// is reused across loop iterations, and `getopts` must advance (and
+// rescan after an external OPTIND write) identically whether the loop
+// driving it was compiled once or tree-walked each pass.
+func TestCompiledDifferentialLocalGetoptsInLoops(t *testing.T) {
+	scripts := []string{
+		// local restore across repeated calls from a for loop: the cached
+		// closure must not leak one call's local into the next.
+		"x=outer; f() { local x; x=$1; echo in:$x; }; for v in a b c; do f $v; done; echo out:$x",
+		// local with assignment form, called from a while loop.
+		"n=global; g() { local n=inner; echo $n; }; i=0; while [ $i -lt 3 ]; do g; i=$((i+1)); done; echo $n",
+		// local of an unset variable must restore to unset, not empty.
+		"h() { local u=set; echo call:$u; }; for v in 1 2; do h; done; echo after:${u:-unset}",
+		// Nested functions: inner local shadows outer local, both restore.
+		"f() { local x=f; g; echo f:$x; }; g() { local x=g; echo g:$x; }; x=top; for v in 1 2; do f; done; echo top:$x",
+		// getopts driven by a while loop over positional parameters.
+		`set -- -a -b val -c rest
+while getopts ab:c o; do echo "o=$o arg=$OPTARG"; done
+shift $((OPTIND - 1)); echo "rest=$* ind=$OPTIND"`,
+		// External OPTIND write mid-stream restarts the scan; the compiled
+		// loop body must observe the reset exactly like the walker.
+		`set -- -a -b
+getopts ab o; echo "first=$o"
+OPTIND=1
+while getopts ab o; do echo "again=$o"; done`,
+		// getopts inside a function with local OPTIND-adjacent state.
+		`parse() { local o; while getopts xy o; do echo "saw=$o"; done; }
+set -- -x -y
+for pass in 1 2; do OPTIND=1; parse -x -y; done`,
+		// Unknown option and missing argument paths must diagnose alike.
+		`set -- -z
+while getopts a o; do echo "o=$o"; done; echo "st=$?"`,
+		`set -- -b
+while getopts b: o; do echo "o=$o arg=$OPTARG"; done; echo "st=$?"`,
+	}
+	for _, src := range scripts {
+		assertAgree(t, src, nil)
+	}
+}
+
 // TestCompiledCacheSharedAcrossClones runs a function in a pipeline twice
 // to exercise cached closures on subshell clones (races here would be
 // caught by -race).

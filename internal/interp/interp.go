@@ -285,6 +285,12 @@ func (in *Interp) cmdSubst(stmts []*syntax.Stmt) (string, error) {
 	return buf.String(), nil
 }
 
+// Subshell clones the interpreter state for an isolated execution whose
+// mutations do not escape; package core's list-region runner executes each
+// statement of a proven-non-interfering region on its own clone and merges
+// the declared definitions back afterwards.
+func (in *Interp) Subshell() *Interp { return in.subshell() }
+
 // subshell clones the interpreter state; mutations do not escape.
 func (in *Interp) subshell() *Interp {
 	vars := make(map[string]Variable, len(in.Vars))

@@ -9,6 +9,8 @@ import (
 	"strings"
 
 	"jash/internal/analysis"
+	"jash/internal/cost"
+	"jash/internal/rewrite"
 	"jash/internal/syntax"
 )
 
@@ -46,6 +48,55 @@ func (l *Linter) checkFlow(script *syntax.Script, add func(Finding)) {
 		})
 	}
 	l.checkCdInvalidation(script, add)
+	l.checkCdBlockedParallelism(script, add)
+}
+
+// checkCdBlockedParallelism flags JSH405: a one-line statement list that
+// the runtime list parallelizer would prove safe to run concurrently,
+// except that a `cd` statement pins everything to program order — and the
+// other statements touch only absolute paths, so the cd is removable. The
+// grouping mirrors the runtime's parse unit exactly (statements joined by
+// `;` on one line); statements on separate lines never form a list, so
+// they are never flagged.
+func (l *Linter) checkCdBlockedParallelism(script *syntax.Script, add func(Finding)) {
+	funcs := map[string]bool{}
+	for _, st := range script.Stmts {
+		syntax.Walk(st, func(n syntax.Node) bool {
+			if fd, ok := n.(*syntax.FuncDecl); ok {
+				funcs[fd.Name] = true
+			}
+			return true
+		})
+	}
+	opts := rewrite.ListOptions{
+		Lib:    l.Lib,
+		Dir:    "/",
+		Cores:  cost.StandardEC2().Cores,
+		IsFunc: func(name string) bool { return funcs[name] },
+	}
+	flush := func(group []*syntax.Stmt) {
+		if len(group) < 2 {
+			return
+		}
+		if _, dec := rewrite.ParallelizeList(group, opts); dec.CdBlockedOnly {
+			add(Finding{
+				Code: "JSH405", Severity: Warning, Pos: group[0].Pos(),
+				Message: fmt.Sprintf("this %d-statement list is provably parallelizable, but the cd forces it to run sequentially",
+					len(group)),
+				Suggestion: "use absolute paths and drop the cd so the statements can run concurrently",
+			})
+		}
+	}
+	var group []*syntax.Stmt
+	line := -1
+	for _, st := range script.Stmts {
+		if st.Pos().Line != line {
+			flush(group)
+			group, line = nil, st.Pos().Line
+		}
+		group = append(group, st)
+	}
+	flush(group)
 }
 
 // checkCdInvalidation flags JSH404: a relative path is touched both

@@ -165,9 +165,37 @@ func TestUnknownSuppressionCodeReported(t *testing.T) {
 func TestKnownCodesCoverEmittedCodes(t *testing.T) {
 	for _, code := range []string{"JSH000", "JSH101", "JSH201", "JSH202", "JSH203",
 		"JSH204", "JSH205", "JSH206", "JSH207", "JSH301", "JSH302", "JSH303",
-		"JSH304", "JSH401", "JSH402", "JSH403", "JSH404"} {
+		"JSH304", "JSH401", "JSH402", "JSH403", "JSH404", "JSH405"} {
 		if !KnownCodes[code] {
 			t.Errorf("KnownCodes missing %s", code)
+		}
+	}
+}
+
+// --- JSH405: cd-blocked parallel list ---
+
+func TestCdBlockedParallelListFlagged(t *testing.T) {
+	fs := findings(t, "grep -c a /w0 >/o0; cd /tmp; grep -c b /w1 >/o1; cd /var; wc -l </w2 >/o2\n")
+	if !hasCode(fs, "JSH405") {
+		t.Errorf("cd-blocked list not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestCdBlockedParallelListQuietCases(t *testing.T) {
+	for _, src := range []string{
+		// The cd is load-bearing: a relative path follows it.
+		"grep -c a /w0 >/o0; cd /tmp; grep -c b w1 >/o1; cd /var; wc -l </w2 >/o2\n",
+		// No cd at all; the list is simply parallel (no diagnostic needed).
+		"grep -c a /w0 >/o0; grep -c b /w1 >/o1\n",
+		// Blocked by more than the cd (eval is an unconditional blocker).
+		"grep -c a /w0 >/o0; cd /tmp; eval x; cd /var; grep -c b /w1 >/o1\n",
+		// Statements on separate lines never form a runtime list.
+		"grep -c a /w0 >/o0\ncd /tmp\ngrep -c b /w1 >/o1\ncd /var\nwc -l </w2 >/o2\n",
+		// A statement calls a script-defined function: pinned.
+		"f() { echo hi; }\nf >/o0; cd /tmp; grep -c b /w1 >/o1; cd /var; wc -l </w2 >/o2\n",
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH405") {
+			t.Errorf("JSH405 false positive on %q: %s", src, codesOf(fs))
 		}
 	}
 }

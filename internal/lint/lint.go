@@ -66,6 +66,7 @@ var KnownCodes = map[string]bool{
 	"JSH205": true, "JSH206": true, "JSH207": true,
 	"JSH301": true, "JSH302": true, "JSH303": true, "JSH304": true,
 	"JSH401": true, "JSH402": true, "JSH403": true, "JSH404": true,
+	"JSH405": true,
 }
 
 // LintSource parses and lints a script, folding parse errors into the

@@ -1,0 +1,70 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"jash/internal/analysis"
+	"jash/internal/dfg"
+	"jash/internal/spec"
+)
+
+// Fanout builds a tee/fan-out region: one source, read once, copied by a
+// tee node to N branch pipelines whose outputs fold back together under a
+// commutative aggregator. This is the order-aware dataflow model's
+// generalization beyond linear pipelines — `grep -c a f; grep -c b f`
+// re-reads f twice sequentially, while the fan-out form reads it once and
+// feeds both counters from the same stream. Because the aggregator is
+// commutative (sum, count, unordered-unique), branch completion order
+// cannot affect the result, so the region needs none of the ordering
+// machinery a split/merge plan carries.
+//
+// Each branch is a pipeline of argument vectors. Every stage must be known
+// to the spec library, consume its standard input (it is fed the tee
+// stream), and pass the replication guard (no named-path writes — branch
+// copies of such a stage would race on the path). An empty branch passes
+// the tee stream to the aggregator unchanged.
+func Fanout(srcPath string, branches [][][]string, lib *spec.Library, op dfg.AggOp, sinkPath string) (*dfg.Graph, error) {
+	if len(branches) < 2 {
+		return nil, fmt.Errorf("rewrite: fan-out needs at least 2 branches, got %d", len(branches))
+	}
+	g := dfg.New()
+	src := g.AddNode(&dfg.Node{Kind: dfg.KindSource, Path: srcPath})
+	tee := g.AddNode(&dfg.Node{Kind: dfg.KindTee, Width: len(branches)})
+	g.Connect(src, tee)
+	agg := g.AddNode(&dfg.Node{Kind: dfg.KindAgg, AggOp: op, Width: len(branches)})
+	for bi, stages := range branches {
+		prev, prevPort := tee, bi
+		for _, argv := range stages {
+			if len(argv) == 0 {
+				return nil, fmt.Errorf("rewrite: fan-out branch %d has an empty stage", bi)
+			}
+			if _, known := lib.Lookup(argv[0]); !known {
+				return nil, fmt.Errorf("rewrite: fan-out stage %q unknown to the spec library", argv[0])
+			}
+			e := lib.Resolve(argv)
+			if e.Class == spec.SideEffectful {
+				return nil, fmt.Errorf("rewrite: fan-out stage %q is side-effectful", argv[0])
+			}
+			if !e.ReadsStdin || len(e.InputFiles) > 0 {
+				return nil, fmt.Errorf("rewrite: fan-out stage %q does not consume its tee stream", argv[0])
+			}
+			if err := analysis.ReplicationHazard(e); err != nil {
+				return nil, fmt.Errorf("rewrite: refusing fan-out: %w", err)
+			}
+			n := g.AddNode(&dfg.Node{
+				Kind: dfg.KindCommand,
+				Argv: append([]string(nil), argv...),
+				Spec: e,
+			})
+			g.ConnectPort(prev, n, prevPort, 0)
+			prev, prevPort = n, 0
+		}
+		g.ConnectPort(prev, agg, prevPort, bi)
+	}
+	sink := g.AddNode(&dfg.Node{Kind: dfg.KindSink, Path: sinkPath})
+	g.Connect(agg, sink)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: fan-out produced invalid graph: %w", err)
+	}
+	return g, nil
+}

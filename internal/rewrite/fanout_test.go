@@ -1,0 +1,131 @@
+package rewrite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jash/internal/dfg"
+	"jash/internal/exec"
+	"jash/internal/vfs"
+)
+
+// runFanout executes a fan-out graph over the given file content and
+// returns the sink output.
+func runFanout(t *testing.T, content string, branches [][][]string, op dfg.AggOp) string {
+	t.Helper()
+	g, err := Fanout("/in", branches, lib, op, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte(content))
+	var out bytes.Buffer
+	env := &exec.Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""), Stdout: &out, Stderr: &bytes.Buffer{}}
+	if st, err := exec.Run(g, env); err != nil || st != 0 {
+		t.Fatalf("fanout run: status %d err %v", st, err)
+	}
+	return out.String()
+}
+
+func TestFanoutCount(t *testing.T) {
+	content := "alpha one\nbeta two\nalpha three\ngamma four\n"
+	got := runFanout(t, content, [][][]string{
+		{{"grep", "alpha"}},
+		{{"grep", "beta"}},
+	}, dfg.AggOpCount)
+	// 2 alpha lines + 1 beta line.
+	if got != "3\n" {
+		t.Fatalf("count fan-out: got %q, want %q", got, "3\n")
+	}
+}
+
+func TestFanoutSum(t *testing.T) {
+	content := "alpha one\nbeta two\nalpha three\ngamma four\n"
+	got := runFanout(t, content, [][][]string{
+		{{"grep", "-c", "alpha"}},
+		{{"grep", "-c", "beta"}},
+	}, dfg.AggOpSum)
+	if got != "3\n" {
+		t.Fatalf("sum fan-out: got %q, want %q", got, "3\n")
+	}
+}
+
+func TestFanoutUnique(t *testing.T) {
+	content := "b shared\na only\nb shared\nc late\n"
+	got := runFanout(t, content, [][][]string{
+		{{"grep", "shared"}},
+		{{"grep", "b"}},
+	}, dfg.AggOpUnique)
+	// Both branches emit "b shared" (twice each); unique collapses the
+	// duplicates across branches and sorts.
+	if got != "b shared\n" {
+		t.Fatalf("unique fan-out: got %q, want %q", got, "b shared\n")
+	}
+}
+
+// TestFanoutEarlyHangup checks a branch that stops reading (head) does not
+// wedge or fail the tee: the other branch still sees the whole stream.
+func TestFanoutEarlyHangup(t *testing.T) {
+	var content strings.Builder
+	for i := 0; i < 5000; i++ {
+		content.WriteString("line alpha\n")
+	}
+	got := runFanout(t, content.String(), [][][]string{
+		{{"head", "-n", "1"}},
+		{{"grep", "alpha"}},
+	}, dfg.AggOpCount)
+	// 1 line from head + 5000 from grep.
+	if got != "5001\n" {
+		t.Fatalf("early-hangup fan-out: got %q, want %q", got, "5001\n")
+	}
+}
+
+func TestFanoutRefusals(t *testing.T) {
+	if _, err := Fanout("/in", [][][]string{{{"grep", "x"}}}, lib, dfg.AggOpCount, ""); err == nil {
+		t.Fatal("fan-out accepted a single branch")
+	}
+	if _, err := Fanout("/in", [][][]string{
+		{{"grep", "x"}},
+		{{"frobnicate"}},
+	}, lib, dfg.AggOpCount, ""); err == nil {
+		t.Fatal("fan-out accepted an unknown command")
+	}
+	// sort -o writes a named path: replicating it across branches races.
+	if _, err := Fanout("/in", [][][]string{
+		{{"sort", "-o", "/x"}},
+		{{"grep", "x"}},
+	}, lib, dfg.AggOpCount, ""); err == nil {
+		t.Fatal("fan-out accepted a named-path writer")
+	}
+}
+
+// TestFanoutReadsSourceOnce checks the point of the tee: the source is
+// consumed once no matter how many branches fan out from it.
+func TestFanoutReadsSourceOnce(t *testing.T) {
+	content := strings.Repeat("alpha beta gamma\n", 1000)
+	g, err := Fanout("/in", [][][]string{
+		{{"grep", "-c", "alpha"}},
+		{{"grep", "-c", "beta"}},
+		{{"grep", "-c", "gamma"}},
+	}, lib, dfg.AggOpSum, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.New()
+	fs.WriteFile("/in", []byte(content))
+	metrics := &exec.RunMetrics{}
+	var out bytes.Buffer
+	env := &exec.Env{FS: fs, Dir: "/", Stdin: strings.NewReader(""), Stdout: &out, Stderr: &bytes.Buffer{}, Metrics: metrics}
+	if st, err := exec.Run(g, env); err != nil || st != 0 {
+		t.Fatalf("fanout run: status %d err %v", st, err)
+	}
+	if out.String() != "3000\n" {
+		t.Fatalf("fan-out sum: got %q, want %q", out.String(), "3000\n")
+	}
+	for _, nm := range metrics.Nodes {
+		if nm.Kind == "source" && nm.BytesIn != int64(len(content)) {
+			t.Fatalf("source read %d bytes, want exactly %d (one pass)", nm.BytesIn, len(content))
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package rewrite
+
+import (
+	"strings"
+
+	"jash/internal/syntax"
+)
+
+// UnrollFor rewrites `for x in w1 w2 ...; do body; done` over a static
+// literal word list into the body repeated once per item with $x replaced
+// by the item — the form the list parallelizer can then prove
+// non-interfering per iteration (disjoint literal file sets, the classic
+// per-file loop). It returns the unrolled statements, the loop variable's
+// final value (POSIX keeps the last item in scope after the loop; the
+// caller restores it), and whether the unroll is sound. Refusal is free:
+// the loop just runs through the interpreter as before.
+//
+// Soundness demands the substitution be total and exact, so the unroll
+// refuses when the body could observe or redefine the variable any way a
+// literal paste cannot reproduce: non-plain expansions (${x%.txt}),
+// arithmetic references, command substitutions, unquoted here-documents
+// naming the variable, assignments to it, state-mutating builtins, or
+// item values subject to field splitting or globbing.
+func UnrollFor(fc *syntax.ForClause) (stmts []*syntax.Stmt, last string, ok bool) {
+	if fc == nil || !fc.InPresent || len(fc.Words) == 0 || len(fc.Redirections) > 0 {
+		return nil, "", false
+	}
+	items := make([]string, 0, len(fc.Words))
+	for _, w := range fc.Words {
+		if !w.IsStatic() {
+			return nil, "", false
+		}
+		v := w.StaticValue()
+		if !safeSubstValue(v) {
+			return nil, "", false
+		}
+		items = append(items, v)
+	}
+	if !substitutable(fc.Body, fc.Name) {
+		return nil, "", false
+	}
+	for _, item := range items {
+		for _, st := range fc.Body {
+			cl, cok := cloneStmtSubst(st, fc.Name, item)
+			if !cok {
+				return nil, "", false
+			}
+			stmts = append(stmts, cl)
+		}
+	}
+	return stmts, items[len(items)-1], true
+}
+
+// FlattenBrace unwraps a statement that is exactly `{ body; }` — no
+// redirections, negation, continuation, or background marker — into its
+// body statements, the "&&-free compound body" case the list planner can
+// then partition. Returns nil, false when the statement is anything else.
+func FlattenBrace(st *syntax.Stmt) ([]*syntax.Stmt, bool) {
+	if st == nil || st.Background || st.AndOr == nil || len(st.AndOr.Rest) > 0 {
+		return nil, false
+	}
+	pl := st.AndOr.First
+	if pl == nil || pl.Negated || len(pl.Cmds) != 1 {
+		return nil, false
+	}
+	bg, ok := pl.Cmds[0].(*syntax.BraceGroup)
+	if !ok || len(bg.Redirections) > 0 {
+		return nil, false
+	}
+	return bg.Body, true
+}
+
+// safeSubstValue reports whether a literal can be pasted where an unquoted
+// $x stood without changing fields or glob behaviour.
+func safeSubstValue(v string) bool {
+	return v != "" && !strings.ContainsAny(v, " \t\n*?[]{}$`\\'\"~#")
+}
+
+// unrollHostileBuiltins can rebind or re-scope variables (or evaluate
+// dynamic code) in ways a static paste of the loop variable cannot
+// reproduce; their presence anywhere in the body refuses the unroll.
+var unrollHostileBuiltins = map[string]bool{
+	"eval": true, "read": true, "getopts": true, "set": true, "unset": true,
+	"local": true, "export": true, "readonly": true, "shift": true,
+	".": true, "source": true,
+}
+
+// substitutable checks every reference to name in the body is a plain
+// expansion a literal can replace.
+func substitutable(body []*syntax.Stmt, name string) bool {
+	ok := true
+	for _, st := range body {
+		syntax.Walk(st, func(n syntax.Node) bool {
+			switch x := n.(type) {
+			case *syntax.ParamExp:
+				if x.Name == name && x.Op != syntax.ParamPlain {
+					ok = false
+				}
+			case *syntax.ArithExp:
+				for _, id := range strings.FieldsFunc(x.Expr, func(r rune) bool {
+					return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+				}) {
+					if id == name {
+						ok = false
+					}
+				}
+			case *syntax.CmdSubst:
+				ok = false
+			case *syntax.Assign:
+				if x.Name == name {
+					ok = false
+				}
+			case *syntax.SimpleCommand:
+				if unrollHostileBuiltins[x.Name()] {
+					ok = false
+				}
+			case *syntax.ForClause:
+				if x.Name == name {
+					ok = false
+				}
+			case *syntax.Redirect:
+				if (x.Op == syntax.RedirHeredoc || x.Op == syntax.RedirHeredocDash) && !x.Quoted &&
+					strings.Contains(x.Heredoc, "$") {
+					ok = false
+				}
+			}
+			return ok
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneStmtSubst deep-copies a statement, replacing plain expansions of
+// name with the literal value. Statement shapes outside the supported
+// subset (simple-command pipelines and and-or lists over them) refuse.
+func cloneStmtSubst(st *syntax.Stmt, name, value string) (*syntax.Stmt, bool) {
+	if st == nil || st.AndOr == nil {
+		return nil, false
+	}
+	out := &syntax.Stmt{Background: st.Background, Position: st.Position}
+	first, ok := clonePipeSubst(st.AndOr.First, name, value)
+	if !ok {
+		return nil, false
+	}
+	ao := &syntax.AndOr{First: first}
+	for _, part := range st.AndOr.Rest {
+		p, pok := clonePipeSubst(part.Pipe, name, value)
+		if !pok {
+			return nil, false
+		}
+		ao.Rest = append(ao.Rest, syntax.AndOrPart{Op: part.Op, Pipe: p})
+	}
+	out.AndOr = ao
+	return out, true
+}
+
+func clonePipeSubst(pl *syntax.Pipeline, name, value string) (*syntax.Pipeline, bool) {
+	if pl == nil {
+		return nil, false
+	}
+	out := &syntax.Pipeline{Negated: pl.Negated, Position: pl.Position}
+	for _, cmd := range pl.Cmds {
+		sc, ok := cmd.(*syntax.SimpleCommand)
+		if !ok {
+			return nil, false
+		}
+		cl, cok := cloneSimpleSubst(sc, name, value)
+		if !cok {
+			return nil, false
+		}
+		out.Cmds = append(out.Cmds, cl)
+	}
+	return out, true
+}
+
+func cloneSimpleSubst(sc *syntax.SimpleCommand, name, value string) (*syntax.SimpleCommand, bool) {
+	out := &syntax.SimpleCommand{Position: sc.Position}
+	for _, a := range sc.Assigns {
+		na := &syntax.Assign{Name: a.Name, Position: a.Position}
+		if a.Value != nil {
+			w, ok := cloneWordSubst(a.Value, name, value)
+			if !ok {
+				return nil, false
+			}
+			na.Value = w
+		}
+		out.Assigns = append(out.Assigns, na)
+	}
+	for _, w := range sc.Args {
+		nw, ok := cloneWordSubst(w, name, value)
+		if !ok {
+			return nil, false
+		}
+		out.Args = append(out.Args, nw)
+	}
+	for _, r := range sc.Redirections {
+		nr := &syntax.Redirect{N: r.N, Op: r.Op, Heredoc: r.Heredoc, Quoted: r.Quoted, Position: r.Position}
+		if r.Target != nil {
+			w, ok := cloneWordSubst(r.Target, name, value)
+			if !ok {
+				return nil, false
+			}
+			nr.Target = w
+		}
+		out.Redirections = append(out.Redirections, nr)
+	}
+	return out, true
+}
+
+func cloneWordSubst(w *syntax.Word, name, value string) (*syntax.Word, bool) {
+	out := &syntax.Word{Position: w.Position}
+	for _, p := range w.Parts {
+		np, ok := clonePartSubst(p, name, value)
+		if !ok {
+			return nil, false
+		}
+		out.Parts = append(out.Parts, np)
+	}
+	return out, true
+}
+
+func clonePartSubst(p syntax.WordPart, name, value string) (syntax.WordPart, bool) {
+	switch x := p.(type) {
+	case *syntax.Lit:
+		return &syntax.Lit{Value: x.Value, Position: x.Position}, true
+	case *syntax.SglQuoted:
+		return &syntax.SglQuoted{Value: x.Value, Position: x.Position}, true
+	case *syntax.DblQuoted:
+		out := &syntax.DblQuoted{Position: x.Position}
+		for _, ip := range x.Parts {
+			np, ok := clonePartSubst(ip, name, value)
+			if !ok {
+				return nil, false
+			}
+			out.Parts = append(out.Parts, np)
+		}
+		return out, true
+	case *syntax.ParamExp:
+		if x.Name == name {
+			if x.Op != syntax.ParamPlain {
+				return nil, false
+			}
+			return &syntax.Lit{Value: value, Position: x.Position}, true
+		}
+		out := &syntax.ParamExp{Name: x.Name, Op: x.Op, Colon: x.Colon, Brace: x.Brace, Position: x.Position}
+		if x.Word != nil {
+			w, ok := cloneWordSubst(x.Word, name, value)
+			if !ok {
+				return nil, false
+			}
+			out.Word = w
+		}
+		return out, true
+	case *syntax.ArithExp:
+		return &syntax.ArithExp{Expr: x.Expr, Position: x.Position}, true
+	}
+	// Command substitutions were refused by substitutable; anything else
+	// is a part this cloner does not understand.
+	return nil, false
+}
