@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test vet race fault lint verify bench bench-check clean
+.PHONY: all build test vet race fault lint verify bench bench-check \
+	analysis-report analysis-check clean
 
 all: verify
 
@@ -35,6 +36,23 @@ lint:
 
 # verify is the tier-1 gate: everything a change must pass before merge.
 verify: vet build test race fault lint
+
+# analysis-report measures effect-system precision over the example
+# scripts: how many command summaries fall to ⊤ syntactically and how
+# many the value-flow layer concretizes. Regenerates ANALYSIS_current.json
+# (the CI artifact); commit it as ANALYSIS_baseline.json after precision
+# work.
+analysis-report:
+	$(GO) run ./cmd/jashreport -json ANALYSIS_current.json \
+		-min-concretized 30 examples/*/script.sh
+
+# analysis-check is the CI precision gate: fail if the ⊤-summary rate
+# over the examples regressed against the committed baseline, or if the
+# value-flow layer concretizes less than 30% of previously-⊤ summaries.
+analysis-check:
+	$(GO) run ./cmd/jashreport -json ANALYSIS_current.json \
+		-min-concretized 30 -baseline ANALYSIS_baseline.json \
+		examples/*/script.sh
 
 # bench regenerates the committed throughput baseline alongside the
 # paper's experiment tables. Run it on a quiet machine after perf work

@@ -216,9 +216,16 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "jash: %d statement(s) ran in concurrent list regions (outputs replayed in program order)\n",
 				sh.Stats.ListParallel)
 		}
+		if sh.Stats.Concretized > 0 {
+			fmt.Fprintf(os.Stderr, "jash: %d dynamic word(s) concretized by value-flow analysis (⊤ effects avoided)\n",
+				sh.Stats.Concretized)
+		}
 		for _, d := range sh.Stats.Decisions {
 			fmt.Fprintf(os.Stderr, "  %-40s %-13s width=%d est=%.3fs\n",
 				d.Pipeline, d.Strategy, d.Width, d.EstimatedSeconds)
+			for _, w := range d.Witnesses {
+				fmt.Fprintf(os.Stderr, "    value flow: %s\n", w)
+			}
 			// Measured per-node counters from the executor, next to the
 			// model's prediction above.
 			var moved, maxPeak int64

@@ -47,6 +47,10 @@ func run() int {
 	}
 	lib := spec.Builtin()
 	x := &expand.Expander{}
+	// Value flow: thread the abstract environment through the script so a
+	// later `grep x $f` explains with the witness `$f ⇒ /tmp/a` instead
+	// of "depends on dynamic state".
+	env := analysis.NewEnv(nil)
 	for _, st := range script.Stmts {
 		var stageSums []*analysis.Summary
 		var stageLabels []string
@@ -57,7 +61,7 @@ func run() int {
 					syntax.PrintCommand(cmd))
 				continue
 			}
-			sum := analysis.SummarizeCommand(sc, lib)
+			sum := analysis.SummarizeCommandEnv(sc, lib, env)
 			stageSums = append(stageSums, sum)
 			stageLabels = append(stageLabels, sc.Name())
 			fields, err := x.ExpandWords(sc.Args)
@@ -65,6 +69,12 @@ func run() int {
 				deps := expand.AnalyzeWords(sc.Args)
 				fmt.Printf("%s\n  depends on dynamic state (vars: %s) — the JIT expands it at dispatch time\n",
 					syntax.PrintCommand(sc), strings.Join(deps.Vars, ", "))
+				for _, wit := range sum.Witnesses {
+					fmt.Printf("  value flow: %s — proven by abstract interpretation, no runtime state needed\n", wit)
+				}
+				if s := sum.String(); s != "pure" {
+					fmt.Printf("  effects: %s\n", s)
+				}
 				continue
 			}
 			e := lib.Resolve(fields)
@@ -102,12 +112,15 @@ func run() int {
 			if s := sum.String(); s != "pure" {
 				fmt.Printf("  effects: %s\n", s)
 			}
+			for _, wit := range sum.Witnesses {
+				fmt.Printf("  value flow: %s\n", wit)
+			}
 			// Supervision consequence: the executor's effect-gated retry
-			// re-runs only nodes proven free of write effects.
-			if argvSum := analysis.SummarizeArgv(lib, fields); !argvSum.WritesAnything() {
-				fmt.Println("  supervision: effect-idempotent — a failed node may retry in place (-retries)")
+			// re-runs only nodes whose writes provably converge on re-run.
+			if argvSum := analysis.SummarizeArgv(lib, fields); argvSum.RetryIdempotent() {
+				fmt.Println("  supervision: retry-idempotent — a failed node may retry in place (-retries)")
 			} else {
-				fmt.Println("  supervision: has write effects — never retried; a failure fails the plan")
+				fmt.Println("  supervision: stateful or destructive writes — never retried; a failure fails the plan")
 			}
 		}
 		// Hazard preflight: pipeline stages run concurrently, so effect
@@ -129,12 +142,27 @@ func run() int {
 				cost.BreakerThreshold)
 			fmt.Printf("  a half-open probe after %v — see `jash -stats`\n", cost.BreakerDecay)
 		}
+		analysis.ApplyStmt(env, st)
 	}
 	// List-level verdict: across statements, can whole commands leave
-	// program order? Mirrors the shell's own planner (core.runStmtsTop).
+	// program order? Mirrors the shell's own planner (core.runStmtsTop),
+	// including function summaries for functions the script declares.
 	if len(script.Stmts) >= 2 {
+		funcs := map[string]syntax.Command{}
+		syntax.Walk(script, func(n syntax.Node) bool {
+			if fd, ok := n.(*syntax.FuncDecl); ok {
+				funcs[fd.Name] = fd.Body
+			}
+			return true
+		})
 		_, dec := rewrite.ParallelizeList(script.Stmts, rewrite.ListOptions{
-			Lib: lib, Dir: "/", Cores: cost.StandardEC2().Cores})
+			Lib: lib, Dir: "/", Cores: cost.StandardEC2().Cores,
+			IsFunc:   func(name string) bool { _, ok := funcs[name]; return ok },
+			FuncBody: func(name string) syntax.Command { return funcs[name] },
+		})
+		for _, wit := range dec.Witnesses {
+			fmt.Printf("value flow: %s\n", wit)
+		}
 		if dec.Parallel {
 			fmt.Printf("list parallelism: PROVEN — %s; outputs replay in program order,\n", dec.Reason)
 			fmt.Printf("  so stdout, stderr, and $? are byte-identical to the sequential run\n")

@@ -3,8 +3,11 @@
 // support"). It reads scripts from files or stdin and prints findings
 // with positions, codes, severities, and fix suggestions — as human-
 // readable lines by default, or one JSON object per finding with
-// -format json. Exit status: 0 clean, 1 findings, 2 usage or read
-// errors (reported after every argument has been processed).
+// -format json (which also includes findings silenced by inline
+// suppression directives, marked "suppressed": true, so CI can audit
+// them). -codes restricts output to a comma-separated code list. Exit
+// status: 0 clean, 1 unsuppressed findings, 2 usage or read errors
+// (reported after every argument has been processed).
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"jash/internal/lint"
 )
@@ -30,11 +34,13 @@ type jsonFinding struct {
 	Col        int    `json:"col"`
 	Message    string `json:"message"`
 	Suggestion string `json:"suggestion,omitempty"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 func run() int {
 	minSeverity := flag.String("severity", "info", "minimum severity to report: info, warning, error")
 	format := flag.String("format", "human", "output format: human, or json (one finding object per line)")
+	codesFlag := flag.String("codes", "", "report only these comma-separated codes (e.g. JSH406,JSH407)")
 	flag.Parse()
 	var min lint.Severity
 	switch *minSeverity {
@@ -52,16 +58,36 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "jashlint: unknown format %q\n", *format)
 		return 2
 	}
+	var onlyCodes map[string]bool
+	if *codesFlag != "" {
+		onlyCodes = map[string]bool{}
+		for _, c := range strings.Split(*codesFlag, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			if !lint.KnownCodes[c] {
+				fmt.Fprintf(os.Stderr, "jashlint: -codes names unknown code %q\n", c)
+				return 2
+			}
+			onlyCodes[c] = true
+		}
+	}
 	l := lint.New()
 	enc := json.NewEncoder(os.Stdout)
 	found := false
 	failed := false
 	lintOne := func(name, src string) {
-		for _, f := range l.LintSource(src) {
+		for _, f := range l.LintSourceAll(src) {
 			if f.Severity < min {
 				continue
 			}
-			found = true
+			if onlyCodes != nil && !onlyCodes[f.Code] {
+				continue
+			}
+			if !f.Suppressed {
+				found = true
+			}
 			if *format == "json" {
 				enc.Encode(jsonFinding{
 					File:       name,
@@ -71,8 +97,12 @@ func run() int {
 					Col:        f.Pos.Col,
 					Message:    f.Message,
 					Suggestion: f.Suggestion,
+					Suppressed: f.Suppressed,
 				})
 				continue
+			}
+			if f.Suppressed {
+				continue // human output keeps honoring directives silently
 			}
 			fmt.Printf("%s:%s\n", name, f)
 		}

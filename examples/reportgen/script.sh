@@ -1,0 +1,11 @@
+# Per-shard error report, driven by variables. The shard paths live in
+# shell variables, so a purely syntactic planner sees every grep as ⊤
+# (unknown files) and refuses to reorder the list; value-flow analysis
+# proves the concrete paths, shows the statements touch disjoint files,
+# and runs them concurrently — outputs still replay in program order.
+WEB0=/logs/web0.log
+WEB1=/logs/web1.log
+WEB2=/logs/web2.log
+OUT=/report
+grep -c ERROR "$WEB0" >"$OUT/web0.count"; grep -c ERROR "$WEB1" >"$OUT/web1.count"; grep -c ERROR "$WEB2" >"$OUT/web2.count"
+cat "$OUT/web0.count" "$OUT/web1.count" "$OUT/web2.count"

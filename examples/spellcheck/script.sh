@@ -3,5 +3,5 @@
 # so the unquoted-expansion warnings are suppressed inline.
 DICT=/usr/share/dict/words
 FILES="/docs/chapter1.txt /docs/chapter2.txt"
-# jashlint:disable=JSH202
+# jashlint:disable=JSH202,JSH406
 cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 "$DICT" -

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jash/internal/syntax"
+)
+
+var update = flag.Bool("update", false, "rewrite golden env dumps")
+
+// --- domain ---
+
+func TestJoin(t *testing.T) {
+	cases := []struct {
+		a, b, want AbsVal
+	}{
+		{Const("/tmp/a"), Const("/tmp/a"), Const("/tmp/a")},
+		{Const("/tmp/a"), Const("/tmp/b"), Prefix("/tmp/")},
+		{Const("abc"), Const("xyz"), Top()}, // no common prefix
+		{Const("/tmp"), Top(), Top()},
+		{Prefix("/tmp/"), Const("/tmp/a"), Prefix("/tmp/")},
+		{Prefix("/a"), Prefix("/b"), Prefix("/")},
+	}
+	for _, c := range cases {
+		if got := Join(c.a, c.b); got != c.want {
+			t.Errorf("Join(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Join is commutative on this lattice.
+		if got := Join(c.b, c.a); got != c.want {
+			t.Errorf("Join(%v, %v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	cases := []struct {
+		a, b, want AbsVal
+	}{
+		{Const("/tmp/"), Const("f"), Const("/tmp/f")},
+		{Const("/tmp/"), Prefix("ab"), Prefix("/tmp/ab")},
+		{Const("/tmp/"), Top(), Prefix("/tmp/")},
+		{Prefix("/tmp/"), Const("f"), Prefix("/tmp/")}, // suffix unknown
+		{Top(), Const("x"), Top()},
+		{Const(""), Top(), Top()}, // Prefix("") collapses to ⊤
+	}
+	for _, c := range cases {
+		if got := Concat(c.a, c.b); got != c.want {
+			t.Errorf("Concat(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// --- abstract walk: final-state checks ---
+
+// finalEnv runs the abstract interpreter over src from the static (no
+// interpreter state) environment.
+func finalEnv(t *testing.T, src string) *Env {
+	t.Helper()
+	script, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return WalkValues(script, nil, nil)
+}
+
+func TestWalkValuesStates(t *testing.T) {
+	cases := []struct {
+		name, src, v string
+		want         AbsVal
+	}{
+		{"assign", "x=/tmp/a\n", "x", Const("/tmp/a")},
+		{"concat", "a=/tmp\nb=$a/f.txt\n", "b", Const("/tmp/f.txt")},
+		{"quote-removal", "x='a b'\ny=\"$x\"\n", "y", Const("a b")},
+		{"overwrite", "x=1\nx=2\n", "x", Const("2")},
+		{"subshell-copy", "x=1\n(x=2)\n", "x", Const("1")},
+		{"background-copy", "x=1\nx=2 &\nwait\n", "x", Const("1")},
+		{"pipeline-stage-copy", "x=1\n{ x=2; } | cat\n", "x", Const("1")},
+		{"branch-join", "if c; then x=a; else x=b; fi\n", "x", Top()},
+		{"branch-join-prefix", "x=/d/a\nif c; then x=/d/b; fi\n", "x", Prefix("/d/")},
+		{"loop-carried-widen", "x=1\nwhile c; do x=2; done\n", "x", Top()},
+		{"for-last-item", "for f in /d/a /d/b; do :; done\n", "f", Prefix("/d/")},
+		{"for-single-item", "for f in /only; do :; done\n", "f", Const("/only")},
+		{"unset", "x=abc\nunset x\n", "x", Const("")},
+		{"read-widens", "x=1\nread x\n", "x", Top()},
+		{"cmdsubst-top", "x=$(date)\n", "x", Top()},
+		{"cmdsubst-prefix", "x=/tmp/$(date)\n", "x", Prefix("/tmp/")},
+		{"eval-widens", "x=1\neval y=2\n", "x", Top()},
+		{"function-call-widens", "f() { x=2; }\nx=1\nf\n", "x", Top()},
+		{"local-default", "x=${HOME:-/root}\n", "x", Top()}, // HOME unknown statically
+		{"trim-suffix", "f=a.tmp\ng=${f%.tmp}\n", "g", Const("a")},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			env := finalEnv(t, c.src)
+			if got := env.Resolve(c.v); got != c.want {
+				t.Errorf("%s: $%s = %v, want %v\nenv:\n%s", c.src, c.v, got, c.want, env.Dump())
+			}
+		})
+	}
+}
+
+func TestUnsetResetsIFS(t *testing.T) {
+	env := finalEnv(t, "IFS=:\nunset IFS\n")
+	if !env.IFSIsDefault() {
+		t.Error("unset IFS should restore default splitting")
+	}
+	if env = finalEnv(t, "IFS=:\n"); env.IFSIsDefault() {
+		t.Error("IFS=: must disable the abstract splitter")
+	}
+}
+
+func TestFieldsOfSplitting(t *testing.T) {
+	env := NewEnv(nil)
+	env.Bind("F", Const("a b"))
+	env.Bind("G", Const("/tmp/x"))
+	parse := func(src string) *syntax.Word {
+		script, err := syntax.Parse("cmd " + src + "\n")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		sc := script.Stmts[0].AndOr.First.Cmds[0].(*syntax.SimpleCommand)
+		return sc.Args[1]
+	}
+	fields, exact := FieldsOf(parse("$F"), env)
+	if !exact || len(fields) != 2 || fields[0].Val != Const("a") || fields[1].Val != Const("b") {
+		t.Errorf("unquoted $F: exact=%v fields=%v", exact, fields)
+	}
+	fields, exact = FieldsOf(parse(`"$F"`), env)
+	if !exact || len(fields) != 1 || fields[0].Val != Const("a b") {
+		t.Errorf("quoted $F: exact=%v fields=%v", exact, fields)
+	}
+	fields, exact = FieldsOf(parse(`"$G".bak`), env)
+	if !exact || len(fields) != 1 || fields[0].Val != Const("/tmp/x.bak") {
+		t.Errorf("concat: exact=%v fields=%v", exact, fields)
+	}
+	if fields, exact = FieldsOf(parse("$G*"), env); !exact || !fields[0].Globbable {
+		t.Errorf("glob metachar must mark the field globbable: %v %v", exact, fields)
+	}
+	if _, exact = FieldsOf(parse("$UNKNOWN"), env); exact {
+		t.Error("unquoted ⊤ expansion cannot be exact")
+	}
+	if _, exact = FieldsOf(parse(`"$@"`), env); exact {
+		t.Error(`"$@" structure depends on $#`)
+	}
+	env.Bind("IFS", Const(":"))
+	if _, exact = FieldsOf(parse("$F"), env); exact {
+		t.Error("non-default IFS must disable the splitter")
+	}
+}
+
+// --- golden env dumps over the example scripts ---
+
+// TestExampleEnvDumpsGolden locks the abstract final state of every
+// example script: the exact constants the value-flow layer proves are
+// part of the analysis contract (regenerate with -update).
+func TestExampleEnvDumpsGolden(t *testing.T) {
+	for dir, src := range exampleScripts(t) {
+		t.Run(dir, func(t *testing.T) {
+			script, err := syntax.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dump := WalkValues(script, nil, nil).Dump()
+			golden := filepath.Join("testdata", "envdump", dir+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(dump), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -run EnvDumps -update): %v", err)
+			}
+			if dump != string(want) {
+				t.Errorf("env dump drifted:\ngot:\n%s\nwant:\n%s", dump, want)
+			}
+		})
+	}
+}

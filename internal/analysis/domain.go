@@ -1,0 +1,119 @@
+// The abstract string domain for shell value flow. Shell variables hold
+// strings, and the optimizer's questions about them are almost always
+// "which path is this" — so the domain is a three-level string lattice:
+//
+//	Const(s)   the value is exactly s
+//	Prefix(p)  the value starts with p (p non-empty)
+//	⊤          nothing is known
+//
+// Const ⊑ Prefix ⊑ ⊤, with Join widening two constants to their common
+// prefix and Concat modelling shell word concatenation. The domain has no
+// infinite ascending chains through Join (prefixes only shorten), so
+// propagation terminates without a separate widening operator; loops are
+// handled by widening loop-carried names straight to ⊤ (absint.go).
+package analysis
+
+import "strconv"
+
+// AbsKind discriminates AbsVal. The zero value is ⊤ so that forgetting to
+// initialize an abstract value errs toward "unknown", never "known".
+type AbsKind uint8
+
+const (
+	// AbsTop is ⊤: no information.
+	AbsTop AbsKind = iota
+	// AbsConst is an exactly-known string.
+	AbsConst
+	// AbsPrefix is a string with a known non-empty prefix.
+	AbsPrefix
+)
+
+// AbsVal is one abstract shell string.
+type AbsVal struct {
+	Kind AbsKind
+	// Str is the constant value (AbsConst) or the known prefix (AbsPrefix).
+	Str string
+}
+
+// Top returns ⊤.
+func Top() AbsVal { return AbsVal{} }
+
+// Const returns the exact-string abstraction of s.
+func Const(s string) AbsVal { return AbsVal{Kind: AbsConst, Str: s} }
+
+// Prefix returns the starts-with-p abstraction. An empty prefix carries no
+// information and collapses to ⊤.
+func Prefix(p string) AbsVal {
+	if p == "" {
+		return Top()
+	}
+	return AbsVal{Kind: AbsPrefix, Str: p}
+}
+
+// IsConst reports whether the value is exactly known.
+func (v AbsVal) IsConst() bool { return v.Kind == AbsConst }
+
+// IsTop reports whether nothing is known.
+func (v AbsVal) IsTop() bool { return v.Kind == AbsTop }
+
+// String renders the value for dumps and witnesses: "v" for constants,
+// "p"… for prefixes, ⊤ for unknown.
+func (v AbsVal) String() string {
+	switch v.Kind {
+	case AbsConst:
+		return strconv.Quote(v.Str)
+	case AbsPrefix:
+		return strconv.Quote(v.Str) + "…"
+	default:
+		return "⊤"
+	}
+}
+
+// Join is the lattice join: the least value covering both inputs. Two
+// different constants widen to their common prefix (or ⊤ when they share
+// none), which is what makes branch merges sound.
+func Join(a, b AbsVal) AbsVal {
+	if a == b {
+		return a
+	}
+	if a.Kind == AbsTop || b.Kind == AbsTop {
+		return Top()
+	}
+	return Prefix(commonPrefix(a.Str, b.Str))
+}
+
+// Concat models string concatenation: a constant followed by anything with
+// a known prefix keeps the combined prefix; an unknown left side destroys
+// everything to its right.
+func Concat(a, b AbsVal) AbsVal {
+	switch a.Kind {
+	case AbsConst:
+		switch b.Kind {
+		case AbsConst:
+			return Const(a.Str + b.Str)
+		case AbsPrefix:
+			return Prefix(a.Str + b.Str)
+		default:
+			return Prefix(a.Str)
+		}
+	case AbsPrefix:
+		// The suffix after the known prefix is unknown, so appending
+		// anything adds no information.
+		return Prefix(a.Str)
+	default:
+		return Top()
+	}
+}
+
+// commonPrefix returns the longest common byte prefix of a and b.
+func commonPrefix(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}

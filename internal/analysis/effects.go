@@ -41,6 +41,12 @@ const (
 	OpCreate
 	// OpRemove may delete the file.
 	OpRemove
+	// OpStateful marks a mutation whose outcome depends on the file's
+	// prior state (append, ln without -f, dd seek=, mkdir without -p,
+	// relative truncate). Re-running such a command after a partial
+	// failure is not guaranteed to converge, so the self-healing
+	// executor's retry gate refuses it. Always paired with a write op.
+	OpStateful
 )
 
 // Writes reports whether the op set mutates the filesystem.
@@ -66,6 +72,9 @@ func (o Op) String() string {
 	if o&OpRemove != 0 {
 		parts = append(parts, "remove")
 	}
+	if o&OpStateful != 0 {
+		parts = append(parts, "stateful")
+	}
 	return strings.Join(parts, "+")
 }
 
@@ -82,6 +91,13 @@ type Summary struct {
 	// ReadsStdin / WritesStdout track the terminal streams.
 	ReadsStdin   bool
 	WritesStdout bool
+	// Concretized counts dynamic words ($f operands, variable redirect
+	// targets) the abstract interpreter resolved to concrete paths —
+	// words that would have been ⊤ under the purely-syntactic analysis.
+	Concretized int
+	// Witnesses records one human-readable line per concretization, in
+	// the form `$f ⇒ /tmp/a.txt`, for jashexplain and lint diagnostics.
+	Witnesses []string
 }
 
 // NewSummary returns an empty summary.
@@ -106,6 +122,8 @@ func (s *Summary) Union(o *Summary) {
 	s.Unknown |= o.Unknown
 	s.ReadsStdin = s.ReadsStdin || o.ReadsStdin
 	s.WritesStdout = s.WritesStdout || o.WritesStdout
+	s.Concretized += o.Concretized
+	s.Witnesses = append(s.Witnesses, o.Witnesses...)
 }
 
 // WritesAnything reports whether the summary mutates any path, known or
@@ -120,6 +138,23 @@ func (s *Summary) WritesAnything() bool {
 		}
 	}
 	return false
+}
+
+// RetryIdempotent reports whether re-running the command after a partial
+// failure converges to the same state a clean run would have produced.
+// Truncate-style writes and creates qualify (the retry simply rewrites);
+// removals, ⊤ writes, and stateful mutations (appends, seek-writes,
+// exists-checks) do not.
+func (s *Summary) RetryIdempotent() bool {
+	if s.Unknown.Writes() || s.Unknown&OpStateful != 0 {
+		return false
+	}
+	for _, op := range s.Paths {
+		if op&(OpRemove|OpStateful) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // RelativePaths returns the cwd-dependent paths in the summary matching
@@ -143,6 +178,8 @@ func (s *Summary) Normalize(dir string) *Summary {
 	ns.Unknown = s.Unknown
 	ns.ReadsStdin = s.ReadsStdin
 	ns.WritesStdout = s.WritesStdout
+	ns.Concretized = s.Concretized
+	ns.Witnesses = append([]string(nil), s.Witnesses...)
 	for p, op := range s.Paths {
 		ns.Paths[NormalizePath(dir, p)] = op
 	}
@@ -208,6 +245,10 @@ func (s *Summary) String() string {
 var mutators = map[string]func(s *Summary, args []string){
 	"tee": func(s *Summary, args []string) {
 		op := OpWrite | OpCreate
+		if hasFlag(args[1:], "-a") {
+			// Appending depends on the file's prior contents.
+			op |= OpStateful
+		}
 		s.ReadsStdin, s.WritesStdout = true, true
 		for _, a := range operandsOf(args[1:], "") {
 			s.Touch(a, op)
@@ -224,8 +265,14 @@ var mutators = map[string]func(s *Summary, args []string){
 		}
 	},
 	"mkdir": func(s *Summary, args []string) {
+		op := OpCreate
+		if !hasFlag(args[1:], "-p") {
+			// Without -p the command fails when the directory already
+			// exists, so a retry after partial success does not converge.
+			op |= OpStateful
+		}
 		for _, a := range operandsOf(args[1:], "") {
-			s.Touch(a, OpCreate)
+			s.Touch(a, op)
 		}
 	},
 	"touch": func(s *Summary, args []string) {
@@ -261,6 +308,141 @@ var mutators = map[string]func(s *Summary, args []string){
 	"eval": func(s *Summary, args []string) {
 		s.Unknown |= OpRead | OpWrite | OpCreate | OpRemove
 	},
+	"ln": func(s *Summary, args []string) {
+		op := OpCreate
+		if hasFlag(args[1:], "-f") {
+			op |= OpWrite
+		} else {
+			// Without -f, ln fails when the target exists: a retry after
+			// a partially-successful run does not converge.
+			op |= OpStateful
+		}
+		ops := operandsOf(args[1:], "")
+		for i, a := range ops {
+			if i == len(ops)-1 && len(ops) > 1 {
+				s.Touch(a, op)
+			} else if !hasFlag(args[1:], "-s") {
+				// Hard links pin the source inode; symlinks only name it.
+				s.Touch(a, OpRead)
+			}
+		}
+	},
+	"dd": func(s *Summary, args []string) {
+		wrote := false
+		op := OpWrite | OpCreate
+		for _, a := range args[1:] {
+			if strings.HasPrefix(a, "seek=") || strings.HasPrefix(a, "oflag=append") ||
+				a == "conv=notrunc" {
+				// Writing at an offset or appending preserves prior bytes.
+				op |= OpStateful
+			}
+		}
+		for _, a := range args[1:] {
+			switch {
+			case strings.HasPrefix(a, "if="):
+				if f := a[len("if="):]; f != "" {
+					s.Touch(f, OpRead)
+				}
+			case strings.HasPrefix(a, "of="):
+				if f := a[len("of="):]; f != "" {
+					s.Touch(f, op)
+					wrote = true
+				}
+			}
+		}
+		if !wrote {
+			s.WritesStdout = true
+		}
+		if !hasKVArg(args[1:], "if=") {
+			s.ReadsStdin = true
+		}
+	},
+	"truncate": func(s *Summary, args []string) {
+		op := OpWrite
+		if !hasFlag(args[1:], "-c") {
+			op |= OpCreate
+		}
+		if sz := flagValue(args[1:], "-s"); sz != "" && strings.ContainsAny(sz[:1], "+-%<>/") {
+			// Relative sizes (-s +1K, -s -512, -s %4) depend on the
+			// file's current length.
+			op |= OpStateful
+		}
+		for _, a := range operandsOf(args[1:], "s") {
+			s.Touch(a, op)
+		}
+	},
+	"install": func(s *Summary, args []string) {
+		ops := operandsOf(args[1:], "mog")
+		if hasFlag(args[1:], "-d") {
+			// install -d: every operand is a directory to create.
+			for _, a := range ops {
+				s.Touch(a, OpCreate)
+			}
+			return
+		}
+		for i, a := range ops {
+			if i == len(ops)-1 && len(ops) > 1 {
+				s.Touch(a, OpWrite|OpCreate)
+			} else {
+				s.Touch(a, OpRead)
+			}
+		}
+	},
+	"split": func(s *Summary, args []string) {
+		// Output chunk names (xaa, xab, ...) depend on the input size,
+		// so the writes stay ⊤ even though the read side is precise.
+		ops := operandsOf(args[1:], "bl")
+		if len(ops) > 0 && ops[0] != "-" {
+			s.Touch(ops[0], OpRead)
+		} else {
+			s.ReadsStdin = true
+		}
+		s.Unknown |= OpWrite | OpCreate
+	},
+}
+
+// hasFlag reports whether a short flag appears before "--", either alone
+// or folded into a flag cluster (`-sf` contains -s and -f).
+func hasFlag(args []string, flag string) bool {
+	for _, a := range args {
+		if a == "--" {
+			return false
+		}
+		if a == flag {
+			return true
+		}
+		if len(flag) == 2 && strings.HasPrefix(a, "-") && !strings.HasPrefix(a, "--") &&
+			strings.IndexByte(a[1:], flag[1]) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// flagValue returns the value of a `-s value` or `-svalue` style flag.
+func flagValue(args []string, flag string) string {
+	for i, a := range args {
+		if a == "--" {
+			return ""
+		}
+		if a == flag && i+1 < len(args) {
+			return args[i+1]
+		}
+		if strings.HasPrefix(a, flag) && len(a) > len(flag) {
+			return a[len(flag):]
+		}
+	}
+	return ""
+}
+
+// hasKVArg reports whether any argument starts with the given key= prefix.
+func hasKVArg(args []string, prefix string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // sort -o FILE writes FILE; handled separately because sort is otherwise
@@ -371,6 +553,15 @@ func SummarizeArgv(lib *spec.Library, args []string) *Summary {
 // unquoted globs contribute ⊤ in the corresponding op. Redirections are
 // folded in.
 func SummarizeCommand(sc *syntax.SimpleCommand, lib *spec.Library) *Summary {
+	return SummarizeCommandEnv(sc, lib, nil)
+}
+
+// SummarizeCommandEnv is SummarizeCommand with an abstract environment:
+// dynamic words whose expansion the abstract interpreter can prove —
+// field structure and constant values both — contribute concrete paths
+// instead of ⊤, with a witness line per resolved word. A nil env
+// reproduces the purely-syntactic analysis exactly.
+func SummarizeCommandEnv(sc *syntax.SimpleCommand, lib *spec.Library, env *Env) *Summary {
 	s := NewSummary()
 	if sc == nil {
 		return s
@@ -393,6 +584,19 @@ func SummarizeCommand(sc *syntax.SimpleCommand, lib *spec.Library) *Summary {
 			break
 		}
 		argv = append(argv, w.StaticValue())
+	}
+	// Abstract resolution: when the environment proves every word's field
+	// structure and values, summarize the proven argv as if it were
+	// static. This is the concretization path that turns
+	// `f=/tmp/a; grep x $f` into a concrete read of /tmp/a.
+	if env != nil && !allStatic {
+		if argvAbs, witnesses, ok := resolveArgvAbs(sc, env); ok {
+			s.Union(SummarizeArgv(lib, argvAbs))
+			s.Concretized += len(witnesses)
+			s.Witnesses = append(s.Witnesses, witnesses...)
+			foldRedirs(s, sc.Redirections, env)
+			return s
+		}
 	}
 	switch {
 	case name == "":
@@ -435,19 +639,74 @@ func SummarizeCommand(sc *syntax.SimpleCommand, lib *spec.Library) *Summary {
 			}
 		}
 	}
-	// Redirections.
-	for _, r := range sc.Redirections {
+	foldRedirs(s, sc.Redirections, env)
+	return s
+}
+
+// resolveArgvAbs resolves every argument word of sc through the abstract
+// environment. It succeeds only when each word's field structure is
+// provably exact, every field value is a known constant, and no field is
+// subject to globbing — the conditions under which the resolved argv is
+// byte-identical to what the expander will produce at runtime. It
+// returns the argv, one witness line per dynamic word resolved, and
+// whether resolution succeeded.
+func resolveArgvAbs(sc *syntax.SimpleCommand, env *Env) ([]string, []string, bool) {
+	argv := make([]string, 0, len(sc.Args))
+	var witnesses []string
+	for _, w := range sc.Args {
+		fields, exact := FieldsOf(w, env)
+		if !exact {
+			return nil, nil, false
+		}
+		var vals []string
+		for _, f := range fields {
+			if !f.Val.IsConst() || f.Globbable {
+				return nil, nil, false
+			}
+			vals = append(vals, f.Val.Str)
+		}
+		argv = append(argv, vals...)
+		if !w.IsStatic() {
+			witnesses = append(witnesses, Witness(w, vals))
+		}
+	}
+	return argv, witnesses, true
+}
+
+// Witness renders one concretization witness: `$f ⇒ /tmp/a.txt`.
+func Witness(w *syntax.Word, vals []string) string {
+	return syntax.PrintWord(w) + " ⇒ " + strings.Join(vals, " ")
+}
+
+// foldRedirs folds the filesystem effects of a redirection list into s.
+// Static targets contribute concrete paths; dynamic targets are resolved
+// through the abstract environment when possible (redirect targets do
+// not field-split or glob, so a constant abstract value is exact), and
+// fall to ⊤ otherwise. Appends carry OpStateful: their outcome depends
+// on the file's prior contents.
+func foldRedirs(s *Summary, redirs []*syntax.Redirect, env *Env) {
+	for _, r := range redirs {
 		op := redirOp(r.Op)
 		if op == 0 {
 			continue
 		}
-		if r.Target == nil || !r.Target.IsStatic() || hasUnquotedGlob(r.Target) {
-			s.Unknown |= op
+		if r.Op == syntax.RedirAppend {
+			op |= OpStateful
+		}
+		if r.Target != nil && r.Target.IsStatic() && !hasUnquotedGlob(r.Target) {
+			s.Touch(r.Target.StaticValue(), op)
 			continue
 		}
-		s.Touch(r.Target.StaticValue(), op)
+		if env != nil && r.Target != nil {
+			if v := EvalWordAbs(r.Target, env); v.IsConst() && v.Str != "" {
+				s.Touch(v.Str, op)
+				s.Concretized++
+				s.Witnesses = append(s.Witnesses, Witness(r.Target, []string{v.Str}))
+				continue
+			}
+		}
+		s.Unknown |= op
 	}
-	return s
 }
 
 // mutatorOp returns the op set a mutator-table command applies to its
@@ -462,8 +721,10 @@ func mutatorOp(name string) Op {
 		return OpRemove
 	case "mv":
 		return OpRead | OpWrite | OpCreate | OpRemove
-	case "cp":
+	case "cp", "install", "split", "dd", "ln":
 		return OpRead | OpWrite | OpCreate
+	case "truncate":
+		return OpWrite | OpCreate
 	case "xargs", "eval":
 		return OpRead | OpWrite | OpCreate | OpRemove
 	}

@@ -55,12 +55,35 @@ var blockerBuiltins = map[string]string{
 	".": "sources a script", "source": "sources a script",
 }
 
+// StmtOptions parameterizes SummarizeStmtOpts with the abstract-
+// interpretation context. The zero value (nil Env, nil Funcs) reproduces
+// the purely-syntactic PR 7 analysis.
+type StmtOptions struct {
+	// Lib resolves command names to specs.
+	Lib *spec.Library
+	// Env is the abstract environment at this statement's program point;
+	// nil means all-⊤ (no value knowledge).
+	Env *Env
+	// Funcs, when non-nil, summarizes calls to user-defined functions
+	// instead of leaving them to the unknown-command ⊤.
+	Funcs *FuncSummarizer
+}
+
 // SummarizeStmt analyzes one top-level statement for the list
 // parallelizer. It is deliberately conservative: anything it cannot prove
 // safe becomes a blocker, and the statement simply runs sequentially —
 // the same "no regressions, only missed opportunities" posture the JIT's
 // other gates take.
 func SummarizeStmt(st *syntax.Stmt, lib *spec.Library) *StmtSummary {
+	return SummarizeStmtOpts(st, StmtOptions{Lib: lib})
+}
+
+// SummarizeStmtOpts is SummarizeStmt with value flow: dynamic words
+// resolve through opts.Env, and calls to functions known to opts.Funcs
+// fold in the callee's parameterized effect summary rather than
+// blocking.
+func SummarizeStmtOpts(st *syntax.Stmt, opts StmtOptions) *StmtSummary {
+	lib := opts.Lib
 	ss := &StmtSummary{FS: NewSummary(), Defs: map[string]bool{}, Uses: map[string]bool{}}
 	block := func(format string, args ...interface{}) {
 		ss.Blockers = append(ss.Blockers, fmt.Sprintf(format, args...))
@@ -93,21 +116,37 @@ func SummarizeStmt(st *syntax.Stmt, lib *spec.Library) *StmtSummary {
 		if len(sc.Args) == 0 {
 			// A bare assignment runs no command: only its redirections (and
 			// value-word expansions, folded below) touch the world.
-			for _, r := range sc.Redirections {
-				op := redirOp(r.Op)
-				if op == 0 {
-					continue
-				}
-				if r.Target == nil || !r.Target.IsStatic() || hasUnquotedGlob(r.Target) {
-					ss.FS.Unknown |= op
-				} else {
-					ss.FS.Touch(r.Target.StaticValue(), op)
-				}
+			foldRedirs(ss.FS, sc.Redirections, opts.Env)
+			summarizeStmtVars(ss, sc, block)
+			continue
+		}
+		if opts.Funcs.Known(name) && !interpBuiltins[name] && name != "" {
+			// Call to a user-defined function (builtins shadow functions,
+			// functions shadow coreutils — same order as the interpreter's
+			// dispatch): fold in the callee's parameterized summary.
+			args, known := AbsCallArgs(sc, opts.Env)
+			fsum := opts.Funcs.Call(name, args, known)
+			for _, b := range fsum.Blockers {
+				block("function %s: %s", name, b)
+			}
+			// The cached summary is shared — copy before the stdin fixup.
+			sum := NewSummary()
+			sum.Union(fsum.FS)
+			if ci > 0 || redirectsFD(sc.Redirections, 0) {
+				sum.ReadsStdin = false
+			}
+			ss.FS.Union(sum)
+			foldRedirs(ss.FS, sc.Redirections, opts.Env)
+			for n := range fsum.Defs {
+				ss.Defs[n] = true
+			}
+			for n := range fsum.Uses {
+				ss.Uses[n] = true
 			}
 			summarizeStmtVars(ss, sc, block)
 			continue
 		}
-		sum := SummarizeCommand(sc, lib)
+		sum := SummarizeCommandEnv(sc, lib, opts.Env)
 		// Inner pipeline stages read the pipe, not the terminal: only the
 		// first command's stdin appetite matters, and a redirection over
 		// fd 0 satisfies it from a file instead.

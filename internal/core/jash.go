@@ -84,6 +84,10 @@ type Decision struct {
 	// `jash -stats` shows next to the model's predictions. Empty when the
 	// pipeline was interpreted rather than executed as dataflow.
 	Nodes []exec.NodeMetrics
+	// Witnesses lists the value-flow concretizations that helped admit
+	// this decision, one `$f ⇒ /tmp/a.txt` line per dynamic word the
+	// abstract interpreter proved — shown by jashexplain.
+	Witnesses []string
 }
 
 // Stats accumulates a session's decisions and modelled execution time.
@@ -117,6 +121,11 @@ type Stats struct {
 	// loop) proven pairwise non-interfering and run on worker clones, with
 	// outputs replayed in program order.
 	ListParallel int
+	// Concretized counts dynamic words — $f operands, variable redirect
+	// targets — the abstract interpreter resolved to concrete values
+	// while admitting an optimization: each one is a ⊤ effect the
+	// purely-syntactic analysis would have charged.
+	Concretized int
 }
 
 // Shell is a Jash session.
@@ -392,6 +401,11 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		return 0, false
 	}
 	planning := time.Since(start)
+	// Value-flow witnesses: which dynamic words this pipeline needed the
+	// runtime state to resolve. Each is a ⊤ the static analysis would
+	// have charged — the precision the JIT (and now the abstract
+	// interpreter) buys, surfaced via Stats.Concretized and jashexplain.
+	wits := concretizeWitnesses(in, st.AndOr.First)
 	// Charge the model for the chosen plan, consuming burst credits.
 	s.mu.Lock()
 	est, err := cost.EstimateGraph(chosen, facts, s.Profile, false)
@@ -414,12 +428,14 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		SequentialSeconds: dec.SequentialEstimate.Seconds,
 		PlanningWall:      planning,
 		InputBytes:        totalInput(graph, facts),
+		Witnesses:         wits,
 	}
 	if dev, okd := s.Profile.Devices["default"]; okd {
 		d.BurstCreditsBefore = dev.Credits
 	}
 	di := s.recordLocked(d)
 	s.Stats.Optimized++
+	s.Stats.Concretized += len(wits)
 	s.mu.Unlock()
 	// Execute the plan for real over the VFS, through the incremental
 	// cache when one is attached.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"jash/internal/analysis"
 	"jash/internal/interp"
 	"jash/internal/rewrite"
 	"jash/internal/syntax"
@@ -60,18 +61,27 @@ func (s *Shell) runStmtsTop(stmts []*syntax.Stmt) (int, error) {
 			return ok
 		},
 		IsReadonly: func(name string) bool { return in.Vars[name].ReadOnly },
+		Lookup: func(name string) (string, bool) {
+			v, ok := in.Vars[name]
+			if !ok {
+				return "", false
+			}
+			return v.Value, true
+		},
+		FuncBody: func(name string) syntax.Command { return in.Funcs[name] },
 	})
 	if !dec.Parallel {
 		// Refusals of multi-statement lists are recorded for jashexplain
 		// and -stats; the list then runs exactly as before.
 		s.record(Decision{Pipeline: listLabel(cand), Strategy: "sequential-list",
-			Reason: dec.Reason})
+			Reason: dec.Reason, Witnesses: dec.Witnesses})
 		return in.RunStmts(stmts)
 	}
 	di := s.record(Decision{Pipeline: listLabel(cand), Strategy: "parallel-list",
-		Width: dec.Width, Reason: dec.Reason})
+		Width: dec.Width, Reason: dec.Reason, Witnesses: dec.Witnesses})
 	s.mu.Lock()
 	s.Stats.ListParallel += dec.Statements
+	s.Stats.Concretized += dec.Concretized
 	s.mu.Unlock()
 	status, err := 0, error(nil)
 	for _, g := range plan.Groups {
@@ -160,6 +170,73 @@ func (s *Shell) runParallelGroup(in *interp.Interp, g rewrite.ListGroup) (int, e
 	}
 	in.Status = status
 	return status, nil
+}
+
+// interpEnv builds an abstract environment backed by the live
+// interpreter state: every variable resolves to its current value and
+// the positional parameters are exactly known. Lookup misses are
+// provably-unset (Const "") because in.Vars is the whole table.
+func interpEnv(in *interp.Interp) *analysis.Env {
+	env := analysis.NewEnv(func(name string) (string, bool) {
+		v, ok := in.Vars[name]
+		if !ok {
+			return "", false
+		}
+		return v.Value, true
+	})
+	params := make([]analysis.AbsVal, len(in.Params))
+	for i, p := range in.Params {
+		params[i] = analysis.Const(p)
+	}
+	env.SetParams(params)
+	return env
+}
+
+// concretizeWitnesses reports, for each dynamic word in the pipeline
+// (arguments and redirect targets), the concrete expansion the abstract
+// environment proves from the live interpreter state — the witness lines
+// jashexplain shows next to a compiled decision.
+func concretizeWitnesses(in *interp.Interp, pl *syntax.Pipeline) []string {
+	var env *analysis.Env
+	var wits []string
+	for _, cmd := range pl.Cmds {
+		sc, ok := cmd.(*syntax.SimpleCommand)
+		if !ok {
+			continue
+		}
+		words := make([]*syntax.Word, 0, len(sc.Args)+len(sc.Redirections))
+		words = append(words, sc.Args...)
+		for _, r := range sc.Redirections {
+			if r.Target != nil {
+				words = append(words, r.Target)
+			}
+		}
+		for _, w := range words {
+			if w.IsStatic() {
+				continue
+			}
+			if env == nil {
+				env = interpEnv(in)
+			}
+			fields, exact := analysis.FieldsOf(w, env)
+			if !exact {
+				continue
+			}
+			vals := make([]string, 0, len(fields))
+			proven := true
+			for _, f := range fields {
+				if !f.Val.IsConst() || f.Globbable {
+					proven = false
+					break
+				}
+				vals = append(vals, f.Val.Str)
+			}
+			if proven {
+				wits = append(wits, analysis.Witness(w, vals))
+			}
+		}
+	}
+	return wits
 }
 
 // soleForClause unwraps a statement that is exactly one for loop.

@@ -218,9 +218,11 @@ var ErrStalled = errors.New("plan stalled")
 //
 //   - the node is effect-idempotent: sources with a file path (replayable
 //     by re-opening), splits and merges (pure stream shufflers), and
-//     command nodes whose effect summary (internal/analysis) proves no
-//     write/create/remove effects; sinks own the output journal and are
-//     never re-run;
+//     command nodes whose effect summary (internal/analysis) proves
+//     RetryIdempotent — every write is a truncate-style rewrite of a
+//     known path, never a removal, append, or other stateful mutation,
+//     so a re-run converges to the clean-run state; sinks own the output
+//     journal and are never re-run;
 //   - no output byte escaped downstream (ctr.out == 0), so a re-run
 //     cannot duplicate data;
 //   - its inputs are replayable: a file source re-opens per attempt,
@@ -255,7 +257,7 @@ func retryEligible(n *dfg.Node, lib *spec.Library) bool {
 	case dfg.KindSplit, dfg.KindMerge, dfg.KindTee, dfg.KindAgg:
 		return true
 	case dfg.KindCommand:
-		return lib != nil && !analysis.SummarizeArgv(lib, n.Argv).WritesAnything()
+		return lib != nil && analysis.SummarizeArgv(lib, n.Argv).RetryIdempotent()
 	}
 	return false
 }

@@ -6,6 +6,7 @@ package lint
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"jash/internal/analysis"
@@ -49,6 +50,255 @@ func (l *Linter) checkFlow(script *syntax.Script, add func(Finding)) {
 	}
 	l.checkCdInvalidation(script, add)
 	l.checkCdBlockedParallelism(script, add)
+	l.checkValueFlow(script, add)
+}
+
+// checkValueFlow runs the abstract-interpretation rules: it walks the
+// script with the value-flow analysis threading constant knowledge
+// through assignments, and fires where a proven value makes a latent
+// hazard definite — JSH406 (an unquoted expansion that provably
+// word-splits here) and JSH407 (a condition that is provably constant,
+// making a branch or loop body unreachable).
+func (l *Linter) checkValueFlow(script *syntax.Script, add func(Finding)) {
+	vis := &analysis.ValueVisitor{
+		Simple: func(sc *syntax.SimpleCommand, env *analysis.Env) {
+			l.checkProvenSplit(sc, env, add)
+		},
+		If: func(ic *syntax.IfClause, env *analysis.Env) {
+			switch condVerdict(ic.Cond, env) {
+			case condFalse:
+				if len(ic.Then) > 0 {
+					add(Finding{
+						Code: "JSH407", Severity: Warning, Pos: condPos(ic.Cond, ic.Pos()),
+						Message:    fmt.Sprintf("condition %s is provably false; the then-branch never runs", condLabel(ic.Cond)),
+						Suggestion: "remove the dead branch, or fix the value the condition tests",
+					})
+				}
+			case condTrue:
+				if len(ic.Else) > 0 {
+					add(Finding{
+						Code: "JSH407", Severity: Warning, Pos: condPos(ic.Cond, ic.Pos()),
+						Message:    fmt.Sprintf("condition %s is provably true; the else-branch never runs", condLabel(ic.Cond)),
+						Suggestion: "remove the dead branch, or fix the value the condition tests",
+					})
+				}
+			}
+		},
+		While: func(wc *syntax.WhileClause, env *analysis.Env) {
+			v := condVerdict(wc.Cond, env)
+			// `while cond` never enters the body when cond provably fails;
+			// `until cond` never enters when cond provably succeeds.
+			dead := (v == condFalse && !wc.Until) || (v == condTrue && wc.Until)
+			if dead && len(wc.Body) > 0 {
+				kw, verdict := "while", "false"
+				if wc.Until {
+					kw, verdict = "until", "true"
+				}
+				add(Finding{
+					Code: "JSH407", Severity: Warning, Pos: condPos(wc.Cond, wc.Pos()),
+					Message:    fmt.Sprintf("%s condition %s is provably %s on entry; the loop body never runs", kw, condLabel(wc.Cond), verdict),
+					Suggestion: "remove the dead loop, or fix the value the condition tests",
+				})
+			}
+		},
+	}
+	analysis.WalkValues(script, nil, vis)
+}
+
+// checkProvenSplit flags JSH406: an unquoted expansion argument whose
+// abstract value proves the word splits into several fields (or into
+// none) right here. Where JSH202 warns that splitting *may* happen,
+// JSH406 carries a proof — the value is known, and it contains IFS
+// separators — so it also fires in the contexts JSH202 exempts.
+func (l *Linter) checkProvenSplit(sc *syntax.SimpleCommand, env *analysis.Env, add func(Finding)) {
+	if sc.Name() == "" {
+		return
+	}
+	for _, w := range sc.Args[1:] {
+		if !isBareParam(w) {
+			continue
+		}
+		fields, exact := analysis.FieldsOf(w, env)
+		if !exact || len(fields) == 1 {
+			continue
+		}
+		if len(fields) == 0 {
+			add(Finding{
+				Code: "JSH406", Severity: Warning, Pos: w.Pos(),
+				Message:    fmt.Sprintf("unquoted %s provably expands to no words at all here: the argument vanishes", wordDesc(w)),
+				Suggestion: fmt.Sprintf(`double-quote it to keep an (empty) argument: "%s"`, syntax.PrintWord(w)),
+			})
+			continue
+		}
+		add(Finding{
+			Code: "JSH406", Severity: Warning, Pos: w.Pos(),
+			Message: fmt.Sprintf("unquoted %s provably splits into %d words here%s",
+				wordDesc(w), len(fields), fieldWitness(fields)),
+			Suggestion: fmt.Sprintf(`double-quote it if one word is intended: "%s"`, syntax.PrintWord(w)),
+		})
+	}
+}
+
+// fieldWitness renders proven-constant fields for the JSH406 message.
+func fieldWitness(fields []analysis.AbsField) string {
+	vals := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if !f.Val.IsConst() {
+			return ""
+		}
+		vals = append(vals, f.Val.Str)
+	}
+	const maxShown = 4
+	if len(vals) > maxShown {
+		vals = append(vals[:maxShown], "...")
+	}
+	return fmt.Sprintf(" (%q)", vals)
+}
+
+// condResult is a three-valued verdict on a condition list.
+type condResult int
+
+const (
+	condUnknown condResult = iota
+	condTrue
+	condFalse
+)
+
+// condVerdict abstractly evaluates an if/while condition. Only the shapes
+// the domain can decide return a verdict: a single non-background simple
+// command — true/false/:/test/[ — whose argv resolves to constants under
+// the abstract environment. Everything else is condUnknown.
+func condVerdict(cond []*syntax.Stmt, env *analysis.Env) condResult {
+	if len(cond) != 1 {
+		return condUnknown
+	}
+	st := cond[0]
+	if st.Background || st.AndOr == nil || len(st.AndOr.Rest) > 0 {
+		return condUnknown
+	}
+	pl := st.AndOr.First
+	if pl == nil || len(pl.Cmds) != 1 {
+		return condUnknown
+	}
+	sc, ok := pl.Cmds[0].(*syntax.SimpleCommand)
+	if !ok || len(sc.Redirections) > 0 || len(sc.Assigns) > 0 {
+		return condUnknown
+	}
+	argv := make([]string, 0, len(sc.Args))
+	for _, w := range sc.Args {
+		fields, exact := analysis.FieldsOf(w, env)
+		if !exact {
+			return condUnknown
+		}
+		for _, f := range fields {
+			if !f.Val.IsConst() {
+				return condUnknown
+			}
+			// A lone "[" trips the glob flag, but an unterminated bracket
+			// expression never matches: it always stays literal.
+			if f.Globbable && f.Val.Str != "[" {
+				return condUnknown
+			}
+			argv = append(argv, f.Val.Str)
+		}
+	}
+	if len(argv) == 0 {
+		return condUnknown
+	}
+	var truth, decided bool
+	switch argv[0] {
+	case "true", ":":
+		truth, decided = true, true
+	case "false":
+		truth, decided = false, true
+	case "test":
+		truth, decided = evalTest(argv[1:])
+	case "[":
+		if argv[len(argv)-1] != "]" {
+			return condUnknown // malformed: the runtime errors, status 2
+		}
+		truth, decided = evalTest(argv[1 : len(argv)-1])
+	}
+	if !decided {
+		return condUnknown
+	}
+	if pl.Negated {
+		truth = !truth
+	}
+	if truth {
+		return condTrue
+	}
+	return condFalse
+}
+
+// evalTest decides test/[ expressions over constant operands: arity-0 and
+// arity-1 forms, -n/-z, string =/==/!=, integer comparisons, and a !
+// prefix. File tests and anything else stay undecided.
+func evalTest(ops []string) (truth, decided bool) {
+	if len(ops) > 0 && ops[0] == "!" {
+		truth, decided = evalTest(ops[1:])
+		return !truth, decided
+	}
+	switch len(ops) {
+	case 0:
+		return false, true
+	case 1:
+		return ops[0] != "", true
+	case 2:
+		switch ops[0] {
+		case "-n":
+			return ops[1] != "", true
+		case "-z":
+			return ops[1] == "", true
+		}
+		return false, false
+	case 3:
+		a, op, b := ops[0], ops[1], ops[2]
+		switch op {
+		case "=", "==":
+			return a == b, true
+		case "!=":
+			return a != b, true
+		case "-eq", "-ne", "-lt", "-le", "-gt", "-ge":
+			x, errX := strconv.Atoi(strings.TrimSpace(a))
+			y, errY := strconv.Atoi(strings.TrimSpace(b))
+			if errX != nil || errY != nil {
+				return false, false // runtime arity/parse error, not a verdict
+			}
+			switch op {
+			case "-eq":
+				return x == y, true
+			case "-ne":
+				return x != y, true
+			case "-lt":
+				return x < y, true
+			case "-le":
+				return x <= y, true
+			case "-gt":
+				return x > y, true
+			case "-ge":
+				return x >= y, true
+			}
+		}
+	}
+	return false, false
+}
+
+// condLabel renders a condition list compactly for JSH407 messages.
+func condLabel(cond []*syntax.Stmt) string {
+	s := strings.Join(strings.Fields(syntax.PrintStmts(cond)), " ")
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return "`" + s + "`"
+}
+
+// condPos anchors a JSH407 finding at the condition itself.
+func condPos(cond []*syntax.Stmt, fallback syntax.Pos) syntax.Pos {
+	if len(cond) > 0 {
+		return cond[0].Pos()
+	}
+	return fallback
 }
 
 // checkCdBlockedParallelism flags JSH405: a one-line statement list that

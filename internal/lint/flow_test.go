@@ -165,7 +165,8 @@ func TestUnknownSuppressionCodeReported(t *testing.T) {
 func TestKnownCodesCoverEmittedCodes(t *testing.T) {
 	for _, code := range []string{"JSH000", "JSH101", "JSH201", "JSH202", "JSH203",
 		"JSH204", "JSH205", "JSH206", "JSH207", "JSH301", "JSH302", "JSH303",
-		"JSH304", "JSH401", "JSH402", "JSH403", "JSH404", "JSH405"} {
+		"JSH304", "JSH401", "JSH402", "JSH403", "JSH404", "JSH405", "JSH406",
+		"JSH407"} {
 		if !KnownCodes[code] {
 			t.Errorf("KnownCodes missing %s", code)
 		}
@@ -197,5 +198,111 @@ func TestCdBlockedParallelListQuietCases(t *testing.T) {
 		if fs := findings(t, src); hasCode(fs, "JSH405") {
 			t.Errorf("JSH405 false positive on %q: %s", src, codesOf(fs))
 		}
+	}
+}
+
+// --- JSH406: proven word split ---
+
+func TestProvenSplitFlagged(t *testing.T) {
+	fs := findings(t, "F=\"a.txt b.txt\"\ncat $F\n")
+	if !hasCode(fs, "JSH406") {
+		t.Errorf("proven split not flagged: %s", codesOf(fs))
+	}
+	for _, f := range fs {
+		if f.Code == "JSH406" && f.Pos.Line != 2 {
+			t.Errorf("JSH406 at line %d, want 2", f.Pos.Line)
+		}
+	}
+}
+
+func TestProvenSplitVanishingArg(t *testing.T) {
+	fs := findings(t, "F=\"\"\nls $F\n")
+	if !hasCode(fs, "JSH406") {
+		t.Errorf("vanishing argument not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestProvenSplitFiresWhereJSH202IsExempt(t *testing.T) {
+	// `test` operands are out of JSH202's scope, but a proven split is a
+	// definite arity break there.
+	fs := findings(t, "V=\"x y\"\ntest $V = ok\n")
+	if !hasCode(fs, "JSH406") {
+		t.Errorf("proven split in test not flagged: %s", codesOf(fs))
+	}
+}
+
+func TestProvenSplitQuietCases(t *testing.T) {
+	for _, src := range []string{
+		"F=\"a b\"\ncat \"$F\"\n",        // quoted: no split
+		"F=single\ncat $F\n",             // proven single word
+		"cat $UNKNOWN\n",                 // ⊤ value: JSH202's territory
+		"IFS=:\nF=\"a b\"\ncat $F\n",     // non-default IFS: model off
+		"for f in $FILES; do cat $f; done\n", // for-words split by design
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH406") {
+			t.Errorf("JSH406 false positive on %q: %s", src, codesOf(fs))
+		}
+	}
+}
+
+// --- JSH407: provably constant condition ---
+
+func TestConstantConditionFlagged(t *testing.T) {
+	for _, src := range []string{
+		"x=no\nif [ \"$x\" = yes ]; then echo hi; fi\n",   // false equality
+		"if false; then echo hi; fi\n",                    // literal false
+		"n=3\nif [ $n -lt 2 ]; then echo hi; fi\n",        // numeric false
+		"x=a\nif [ \"$x\" = a ]; then echo t; else echo f; fi\n", // true, dead else
+		"while false; do echo hi; done\n",                 // dead while body
+		"until true; do echo hi; done\n",                  // dead until body
+		"if ! [ -z \"\" ]; then echo t; fi\n",             // negated
+		"if test yes != yes; then echo t; fi\n",           // test spelling
+	} {
+		if fs := findings(t, src); !hasCode(fs, "JSH407") {
+			t.Errorf("JSH407 missing on %q: %s", src, codesOf(fs))
+		}
+	}
+}
+
+func TestConstantConditionQuietCases(t *testing.T) {
+	for _, src := range []string{
+		"if [ \"$1\" = yes ]; then echo hi; fi\n",       // unknown positional
+		"if [ -f /etc/passwd ]; then echo t; fi\n",      // file test: not modeled
+		"while true; do break; done\n",                  // intentional forever-loop
+		"if [ \"$x\" = yes ]; then echo hi; fi\n",       // ⊤ variable
+		"if grep -q a /f; then echo t; fi\n",            // command outcome unknown
+		"x=yes\nif [ \"$x\" = yes ]; then echo t; fi\n", // true cond, no else: nothing dead
+		"read x\nif [ \"$x\" = a ]; then echo t; fi\n",  // read makes it ⊤
+	} {
+		if fs := findings(t, src); hasCode(fs, "JSH407") {
+			t.Errorf("JSH407 false positive on %q: %s", src, codesOf(fs))
+		}
+	}
+}
+
+// --- suppression status surfaced by LintSourceAll ---
+
+func TestLintSourceAllMarksSuppressed(t *testing.T) {
+	src := "F=\"a b\"\n# jashlint:disable=JSH202,JSH406\ncat $F\n"
+	var saw202, saw406 bool
+	for _, f := range New().LintSourceAll(src) {
+		switch f.Code {
+		case "JSH202":
+			saw202 = true
+		case "JSH406":
+			saw406 = true
+		default:
+			continue
+		}
+		if !f.Suppressed {
+			t.Errorf("%s not marked Suppressed", f.Code)
+		}
+	}
+	if !saw202 || !saw406 {
+		t.Errorf("LintSourceAll dropped suppressed findings (202=%v 406=%v)", saw202, saw406)
+	}
+	// LintSource still filters them.
+	if fs := New().LintSource(src); hasCode(fs, "JSH202") || hasCode(fs, "JSH406") {
+		t.Errorf("LintSource leaked suppressed findings: %s", codesOf(fs))
 	}
 }

@@ -40,6 +40,10 @@ type Finding struct {
 	Message  string
 	// Suggestion proposes a fix, when one is mechanical.
 	Suggestion string
+	// Suppressed marks a finding silenced by an inline
+	// `# jashlint:disable=...` directive. LintSource drops these;
+	// LintSourceAll keeps them so tooling can audit suppressions.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
@@ -66,7 +70,7 @@ var KnownCodes = map[string]bool{
 	"JSH205": true, "JSH206": true, "JSH207": true,
 	"JSH301": true, "JSH302": true, "JSH303": true, "JSH304": true,
 	"JSH401": true, "JSH402": true, "JSH403": true, "JSH404": true,
-	"JSH405": true,
+	"JSH405": true, "JSH406": true, "JSH407": true,
 }
 
 // LintSource parses and lints a script, folding parse errors into the
@@ -75,6 +79,20 @@ var KnownCodes = map[string]bool{
 // on the following line. An unknown code in a directive is itself
 // reported (JSH001).
 func (l *Linter) LintSource(src string) []Finding {
+	fs := l.LintSourceAll(src)
+	kept := fs[:0]
+	for _, f := range fs {
+		if !f.Suppressed {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// LintSourceAll is LintSource without the suppression filter: silenced
+// findings are returned too, marked Suppressed, so machine consumers
+// (jashlint -format json) can report suppression status per finding.
+func (l *Linter) LintSourceAll(src string) []Finding {
 	suppressed, dirFindings := scanSuppressions(src)
 	script, err := syntax.Parse(src)
 	if err != nil {
@@ -88,15 +106,10 @@ func (l *Linter) LintSource(src string) []Finding {
 		return []Finding{{Code: "JSH000", Severity: Error, Pos: pos, Message: "syntax error: " + msg}}
 	}
 	fs := append(dirFindings, l.Lint(script)...)
-	if len(suppressed) > 0 {
-		kept := fs[:0]
-		for _, f := range fs {
-			if codes, ok := suppressed[f.Pos.Line]; ok && codes[f.Code] {
-				continue
-			}
-			kept = append(kept, f)
+	for i := range fs {
+		if codes, ok := suppressed[fs[i].Pos.Line]; ok && codes[fs[i].Code] {
+			fs[i].Suppressed = true
 		}
-		fs = kept
 	}
 	sortFindings(fs)
 	return fs

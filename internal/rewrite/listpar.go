@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"jash/internal/analysis"
@@ -58,6 +59,13 @@ type ListDecision struct {
 	// or more bare `cd` statements among statements that otherwise touch
 	// only absolute paths — the JSH405 lint condition.
 	CdBlockedOnly bool
+	// Concretized counts dynamic words the abstract interpreter resolved
+	// to concrete values while summarizing this list — each one a ⊤
+	// effect that did not happen.
+	Concretized int
+	// Witnesses holds one line per concretization (`$f ⇒ /tmp/a`),
+	// deduplicated and sorted, for jashexplain.
+	Witnesses []string
 }
 
 // ListOptions parameterizes list planning with the interpreter state the
@@ -74,6 +82,15 @@ type ListOptions struct {
 	// IsReadonly reports whether assigning a name would be a fatal
 	// readonly violation — order-sensitive, so it pins the statement.
 	IsReadonly func(string) bool
+	// Lookup resolves a variable's current value at plan time (the list
+	// has not started executing, so the interpreter's table is a
+	// consistent snapshot). nil means no value knowledge: every
+	// inherited variable is ⊤.
+	Lookup func(string) (string, bool)
+	// FuncBody returns the named function's body at plan time, or nil.
+	// When set, calls to known functions are summarized through
+	// analysis.FuncSummarizer instead of pinning the statement.
+	FuncBody func(string) syntax.Command
 }
 
 // ParallelizeList plans a `cmd1; cmd2; ...` command list: it summarizes
@@ -85,12 +102,28 @@ type ListOptions struct {
 // description: the region runner in package core owns execution, output
 // ordering, and fallback.
 func ParallelizeList(stmts []*syntax.Stmt, opts ListOptions) (*ListPlan, ListDecision) {
+	env := analysis.NewEnv(opts.Lookup)
+	var funcs *analysis.FuncSummarizer
+	if opts.FuncBody != nil {
+		funcs = analysis.NewFuncSummarizer(opts.Lib, opts.FuncBody)
+	}
+	// funcsDirty: once a statement may alter the function table (a
+	// FuncDecl anywhere in its subtree, or eval/./source), the plan-time
+	// table is stale for everything after it — later calls summarize as
+	// unknown commands, which conservatively pins them.
+	funcsDirty := false
 	sums := make([]*analysis.StmtSummary, len(stmts))
 	for i, st := range stmts {
-		sums[i] = analysis.SummarizeStmt(st, opts.Lib)
-		// Interpreter-state blockers the AST alone cannot see.
+		so := analysis.StmtOptions{Lib: opts.Lib, Env: env}
+		if !funcsDirty {
+			so.Funcs = funcs
+		}
+		sums[i] = analysis.SummarizeStmtOpts(st, so)
+		// Interpreter-state blockers the AST alone cannot see. With a
+		// function table available the summarizer prices calls itself;
+		// without one, any call to a function pins the statement.
 		for _, name := range stmtCommandNames(st) {
-			if opts.IsFunc != nil && opts.IsFunc(name) {
+			if so.Funcs == nil && opts.IsFunc != nil && opts.IsFunc(name) {
 				sums[i].Blockers = append(sums[i].Blockers,
 					fmt.Sprintf("%s is a shell function", name))
 			}
@@ -103,8 +136,32 @@ func ParallelizeList(stmts []*syntax.Stmt, opts ListOptions) (*ListPlan, ListDec
 				}
 			}
 		}
+		if mutatesFuncTable(st, opts.FuncBody) {
+			funcsDirty = true
+		}
+		// Thread the abstract state: bind this statement's syntactic
+		// assignments, then widen any extra defs the summary found
+		// (function-call side effects) that the syntax does not show.
+		syntactic := analysis.AssignedNames(st)
+		analysis.ApplyStmt(env, st)
+		for n := range sums[i].Defs {
+			if !syntactic[n] {
+				env.Bind(n, analysis.Top())
+			}
+		}
 	}
 	plan, dec := buildListPlan(stmts, sums, opts)
+	seen := map[string]bool{}
+	for _, ss := range sums {
+		dec.Concretized += ss.FS.Concretized
+		for _, wit := range ss.FS.Witnesses {
+			if !seen[wit] {
+				seen[wit] = true
+				dec.Witnesses = append(dec.Witnesses, wit)
+			}
+		}
+	}
+	sort.Strings(dec.Witnesses)
 	if !dec.Parallel {
 		dec.CdBlockedOnly = cdBlockedOnly(stmts, sums, opts)
 		if dec.CdBlockedOnly {
@@ -112,6 +169,32 @@ func ParallelizeList(stmts []*syntax.Stmt, opts ListOptions) (*ListPlan, ListDec
 		}
 	}
 	return plan, dec
+}
+
+// mutatesFuncTable reports whether executing the statement may change
+// the function table out from under the plan: a FuncDecl anywhere in its
+// subtree (unless it re-declares the exact body the plan-time table
+// already maps to that name — the whole-script planning case), or a call
+// to eval/./source, which can declare functions dynamically.
+func mutatesFuncTable(st *syntax.Stmt, funcBody func(string) syntax.Command) bool {
+	found := false
+	syntax.Walk(st, func(n syntax.Node) bool {
+		switch c := n.(type) {
+		case *syntax.FuncDecl:
+			if funcBody == nil || funcBody(c.Name) != c.Body {
+				found = true
+				return false
+			}
+		case *syntax.SimpleCommand:
+			switch c.Name() {
+			case "eval", ".", "source":
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // buildListPlan does the greedy maximal-run grouping over precomputed
