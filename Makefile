@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test vet race fault lint verify bench bench-check \
-	analysis-report analysis-check clean
+	analysis-report analysis-check trace-demo clean
 
 all: verify
 
@@ -14,10 +14,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The executor and interpreter are the concurrency-heavy packages; they
-# must stay race-clean.
+# The executor and interpreter are the concurrency-heavy packages, and
+# core's list regions run interpreter clones that share the session's
+# Stats, breaker ledger, and tracer; all three must stay race-clean.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/interp/...
+	$(GO) test -race ./internal/exec/... ./internal/interp/... ./internal/core/... ./internal/trace/...
 
 # The fault suite: injected failures, panics, stalls, and cancellations
 # at every plan position must tear down cleanly, heal via supervised
@@ -25,7 +26,7 @@ race:
 # sweep runs the whole self-healing stack differentially.
 fault:
 	$(GO) test -race -count=2 \
-		-run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane|Chaos|Retry|Stall|Journal|Quarantine|Trap|Degrad' \
+		-run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane|Chaos|Retry|Stall|Journal|Quarantine|Trap|Degrad|Trace' \
 		./internal/exec/... ./internal/core/... ./internal/cluster/...
 
 # lint runs jashlint over the example scripts (warnings and errors fail
@@ -67,5 +68,31 @@ bench-check:
 	$(GO) run ./cmd/jashbench throughput -json BENCH_current.json \
 		-baseline BENCH_throughput.json -max-regress 0.15
 
+# trace-demo exercises the observability stack end to end: two example
+# scripts run under the JIT with -trace (a single optimized pipeline,
+# and the value-flow-parallelized command list), each JSONL stream is
+# gated through jashtrace -check, the reportgen span tree with its
+# critical path is rendered to text, and one Chrome trace_event export
+# is produced for Perfetto. Artifacts land in trace-demo/ (CI uploads
+# the directory).
+trace-demo:
+	mkdir -p trace-demo
+	$(GO) run ./cmd/jash -words /data/words.txt=2000000 \
+		-trace trace-demo/quickstart.jsonl \
+		examples/quickstart/script.sh >/dev/null
+	$(GO) run ./cmd/jash \
+		-words /logs/web0.log=200000 -words /logs/web1.log=200000 \
+		-words /logs/web2.log=200000 \
+		-trace trace-demo/reportgen.jsonl \
+		examples/reportgen/script.sh >/dev/null
+	$(GO) run ./cmd/jash -words /data/words.txt=2000000 \
+		-trace trace-demo/quickstart.chrome.json -trace-format chrome \
+		examples/quickstart/script.sh >/dev/null
+	$(GO) run ./cmd/jashtrace -check trace-demo/quickstart.jsonl
+	$(GO) run ./cmd/jashtrace -check trace-demo/reportgen.jsonl
+	$(GO) run ./cmd/jashtrace -metrics trace-demo/reportgen.jsonl \
+		>trace-demo/reportgen.txt
+
 clean:
 	$(GO) clean ./...
+	rm -rf trace-demo

@@ -3,14 +3,20 @@
 // filesystem; host files can be imported with -import, and synthetic
 // corpora generated with -words. The -mode flag switches between plain
 // interpretation (bash), the ahead-of-time PaSh strategy, and the full
-// Jash JIT; -trace logs every optimization decision.
+// Jash JIT; -log-decisions logs every optimization decision to stderr,
+// and -trace FILE records the full structured telemetry of the run — a
+// span tree from parse to sink plus the session's metrics — as JSON
+// lines (render with jashtrace) or, with -trace-format chrome, as a
+// Chrome trace_event file loadable in Perfetto.
 //
 // Usage:
 //
 //	jash [-mode bash|pash|jash] [-profile laptop|standard|ioopt]
 //	     [-import host.txt=/vfs/path]... [-words /vfs/path=SIZE]
 //	     [-retries N] [-stall-timeout D] [-timeout D]
-//	     [-no-list-parallel] [-trace] [-stats] (-c 'script' | script.sh)
+//	     [-no-list-parallel] [-log-decisions] [-trace FILE]
+//	     [-trace-format jsonl|chrome] [-stats] [-stats-format text|json]
+//	     (-c 'script' | script.sh)
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"jash/internal/core"
 	"jash/internal/cost"
 	"jash/internal/syntax"
+	"jash/internal/trace"
 	"jash/internal/vfs"
 	"jash/internal/workload"
 )
@@ -45,8 +52,11 @@ func run() int {
 		mode        = flag.String("mode", "jash", "optimization mode: bash, pash, or jash")
 		profile     = flag.String("profile", "laptop", "resource profile: laptop, standard (gp2), or ioopt (gp3)")
 		command     = flag.String("c", "", "run this script text instead of a file")
-		trace       = flag.Bool("trace", false, "log JIT decisions to stderr")
+		logDec      = flag.Bool("log-decisions", false, "log JIT decisions to stderr")
+		traceOut    = flag.String("trace", "", "write a structured trace (span tree + metrics) to this file")
+		traceFormat = flag.String("trace-format", "jsonl", "trace encoding: jsonl (for jashtrace) or chrome (for Perfetto)")
 		stats       = flag.Bool("stats", false, "print session statistics on exit")
+		statsFormat = flag.String("stats-format", "text", "statistics encoding: text or json")
 		increm      = flag.Bool("incremental", false, "memoize dataflow regions across re-runs")
 		timeout     = flag.Duration("timeout", 0, "bound the session; expiry tears running plans down and exits 124")
 		retries     = flag.Int("retries", 0, "per-node retry budget for effect-idempotent plan nodes")
@@ -116,6 +126,43 @@ func run() int {
 		return 2
 	}
 
+	if *statsFormat != "text" && *statsFormat != "json" {
+		fmt.Fprintf(os.Stderr, "jash: unknown stats format %q (want text or json)\n", *statsFormat)
+		return 2
+	}
+	var tr *trace.Tracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		var format trace.Format
+		switch *traceFormat {
+		case "jsonl":
+			format = trace.FormatJSONL
+		case "chrome":
+			format = trace.FormatChrome
+		default:
+			fmt.Fprintf(os.Stderr, "jash: unknown trace format %q (want jsonl or chrome)\n", *traceFormat)
+			return 2
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jash: %v\n", err)
+			return 2
+		}
+		traceFile = f
+		tr = trace.New(trace.Options{Writer: f, Format: format})
+	}
+	defer func() {
+		if tr == nil {
+			return
+		}
+		if err := tr.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jash: trace: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "jash: trace: %v\n", err)
+		}
+	}()
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -132,8 +179,11 @@ func run() int {
 		sh.Retries = *retries
 		sh.StallTimeout = *stall
 		sh.NoListParallel = *noListPar
-		if *trace {
+		if *logDec {
 			sh.Trace = os.Stderr
+		}
+		if tr != nil {
+			sh.EnableTracing(tr)
 		}
 		if *increm {
 			sh.EnableIncremental()
@@ -180,8 +230,11 @@ func run() int {
 	sh.Retries = *retries
 	sh.StallTimeout = *stall
 	sh.NoListParallel = *noListPar
-	if *trace {
+	if *logDec {
 		sh.Trace = os.Stderr
+	}
+	if tr != nil {
+		sh.EnableTracing(tr)
 	}
 	if *increm {
 		sh.EnableIncremental()
@@ -193,7 +246,11 @@ func run() int {
 			status = 2
 		}
 	}
-	if *stats {
+	if *stats && *statsFormat == "json" {
+		if err := sh.WriteStatsJSON(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "jash: stats: %v\n", err)
+		}
+	} else if *stats {
 		fmt.Fprintf(os.Stderr, "jash: %d pipeline(s) optimized, %d interpreted, %.3fs modelled time\n",
 			sh.Stats.Optimized, sh.Stats.Interpreted, sh.Stats.VirtualSeconds)
 		if sh.Stats.HazardRejects > 0 {

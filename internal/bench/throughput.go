@@ -66,6 +66,18 @@ type ThroughputReport struct {
 		ModelParSeconds    float64 `json:"model_par_seconds"`
 		Speedup            float64 `json:"speedup"`
 	} `json:"seq_parallel"`
+	// TraceOverhead measures the enabled-tracing tax: the optimized
+	// word-frequency pipeline through a full core.Shell, best-of-5
+	// untraced versus traced (JSONL spans to a discarded writer).
+	// OverheadPct is gated absolutely at MaxTraceOverheadPct — disabled
+	// tracing is proven free separately (an allocation test in
+	// internal/trace), this proves *enabled* tracing is near-free too.
+	TraceOverhead struct {
+		Bytes        int     `json:"bytes"`
+		UntracedSecs float64 `json:"untraced_secs"`
+		TracedSecs   float64 `json:"traced_secs"`
+		OverheadPct  float64 `json:"trace_overhead_pct"`
+	} `json:"trace_overhead"`
 }
 
 // MinSeqParallelSpeedup is the floor the seq_parallel section must clear:
@@ -184,6 +196,9 @@ func Throughput(loopIters, corpusBytes int) (*ThroughputReport, error) {
 	if err := runSeqParallel(rep, corpusBytes); err != nil {
 		return nil, err
 	}
+	if err := runTraceOverhead(rep, corpusBytes); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -202,6 +217,9 @@ func (r *ThroughputReport) Rows() []Row {
 			fmt.Sprintf("%.2fx modelled (width %d), measured %.3fs par / %.3fs seq",
 				r.SeqParallel.Speedup, r.SeqParallel.Width,
 				r.SeqParallel.MeasuredParSeconds, r.SeqParallel.MeasuredSeqSeconds)},
+		{"throughput", sizeName(int64(r.TraceOverhead.Bytes)), "trace-overhead", r.TraceOverhead.TracedSecs,
+			fmt.Sprintf("%+.2f%% (%.3fs traced / %.3fs untraced)",
+				r.TraceOverhead.OverheadPct, r.TraceOverhead.TracedSecs, r.TraceOverhead.UntracedSecs)},
 	}
 }
 
@@ -247,6 +265,13 @@ func (r *ThroughputReport) CheckRegression(baselinePath string, maxRegress float
 		failures = append(failures,
 			fmt.Sprintf("seq_parallel.speedup: %.2fx below the %.1fx floor",
 				r.SeqParallel.Speedup, MinSeqParallelSpeedup))
+	}
+	// Absolute ceiling on the enabled-tracing tax, independent of the
+	// baseline: observability must never cost the user real throughput.
+	if r.TraceOverhead.UntracedSecs > 0 && r.TraceOverhead.OverheadPct > MaxTraceOverheadPct {
+		failures = append(failures,
+			fmt.Sprintf("trace_overhead.trace_overhead_pct: %+.2f%% above the %.1f%% ceiling",
+				r.TraceOverhead.OverheadPct, MaxTraceOverheadPct))
 	}
 	// Inverted: allocations growing past the tolerance is the defect.
 	if was := base.FilterChain.AllocsPerMB; was > 0 && r.FilterChain.AllocsPerMB > was*(1+maxRegress) {

@@ -22,8 +22,11 @@ func TestThroughputSmoke(t *testing.T) {
 	if rep.Pipeline.MBPerSec <= 0 || rep.FilterChain.MBPerSec <= 0 {
 		t.Fatalf("non-positive throughput: %+v", rep)
 	}
-	if len(rep.Rows()) != 5 {
-		t.Fatalf("Rows() = %d rows, want 5", len(rep.Rows()))
+	if len(rep.Rows()) != 6 {
+		t.Fatalf("Rows() = %d rows, want 6", len(rep.Rows()))
+	}
+	if rep.TraceOverhead.UntracedSecs <= 0 || rep.TraceOverhead.TracedSecs <= 0 {
+		t.Fatalf("trace-overhead section not measured: %+v", rep.TraceOverhead)
 	}
 	if rep.SeqParallel.Speedup < MinSeqParallelSpeedup {
 		t.Fatalf("seq_parallel modelled speedup %.2fx below the %.1fx floor",

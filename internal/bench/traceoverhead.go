@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"jash/internal/core"
+	"jash/internal/cost"
+	"jash/internal/trace"
+	"jash/internal/vfs"
+	"jash/internal/workload"
+)
+
+// MaxTraceOverheadPct is the absolute ceiling on the enabled-tracing tax:
+// a traced run of the JIT-optimized pipeline may cost at most this much
+// more wall time than the untraced run, or the regression gate fails
+// regardless of the baseline.
+const MaxTraceOverheadPct = 3.0
+
+// runTraceOverhead measures what `jash -trace` costs when it is on: the
+// same optimized word-frequency pipeline through a full core.Shell,
+// untraced versus streaming JSONL spans to a discarded writer. The two
+// sides run as interleaved pairs in alternating order — so clock drift,
+// frequency scaling, and pool warm-up hit both equally — and each side
+// takes its best (minimum) run, comparing sustained cost rather than
+// scheduler jitter.
+func runTraceOverhead(rep *ThroughputReport, total int) error {
+	script := "cat /words | tr A-Z a-z | sort | uniq -c >/freq\n"
+	single := func(traced bool) (float64, error) {
+		fs := vfs.New()
+		fs.WriteFile("/words", workload.Words(11, total))
+		sh := core.New(fs, cost.IOOptEC2(), core.ModeJash)
+		sh.Interp.Stdout = io.Discard
+		sh.Interp.Stderr = io.Discard
+		if traced {
+			sh.EnableTracing(trace.New(trace.Options{Writer: io.Discard}))
+		}
+		// A collection pending from the previous iteration's garbage (the
+		// corpus just written above) would land inside the timed region of
+		// whichever side runs next; quiesce first.
+		runtime.GC()
+		start := time.Now()
+		st, err := sh.Run(script)
+		if traced {
+			// Closing flushes the metric records — part of the cost a
+			// real -trace run pays.
+			sh.Tracer.Close()
+		}
+		secs := time.Since(start).Seconds()
+		if err != nil || st != 0 {
+			return 0, fmt.Errorf("trace overhead (traced=%v): status %d err %v", traced, st, err)
+		}
+		if d, ok := sh.LastDecision(); !ok || d.Strategy == "interpret" {
+			return 0, fmt.Errorf("trace overhead: pipeline was not optimized (decision %+v)", d)
+		}
+		return secs, nil
+	}
+	// Unmeasured warm-up pair: the executor's pooled buffers and the
+	// runtime are shared across iterations; without this, whichever side
+	// ran first would pay the cold start.
+	if _, err := single(false); err != nil {
+		return err
+	}
+	if _, err := single(true); err != nil {
+		return err
+	}
+	var bestU, bestT float64
+	for i := 0; i < 9; i++ {
+		order := []bool{false, true}
+		if i%2 == 1 {
+			order = []bool{true, false}
+		}
+		for _, traced := range order {
+			secs, err := single(traced)
+			if err != nil {
+				return err
+			}
+			if traced {
+				if bestT == 0 || secs < bestT {
+					bestT = secs
+				}
+			} else if bestU == 0 || secs < bestU {
+				bestU = secs
+			}
+		}
+	}
+	rep.TraceOverhead.Bytes = total
+	rep.TraceOverhead.UntracedSecs = bestU
+	rep.TraceOverhead.TracedSecs = bestT
+	rep.TraceOverhead.OverheadPct = (bestT - bestU) / bestU * 100
+	return nil
+}

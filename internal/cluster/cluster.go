@@ -27,6 +27,7 @@ import (
 	"jash/internal/exec"
 	"jash/internal/exec/faultinject"
 	"jash/internal/spec"
+	"jash/internal/trace"
 	"jash/internal/vfs"
 )
 
@@ -61,6 +62,10 @@ type Cluster struct {
 	// placement runs only (tests of graceful degradation); the
 	// coordinator's retries and merges run clean.
 	WorkerFaults *faultinject.Set
+	// Tracer, when non-nil, records a span per distributed run: stage
+	// placement per worker node (with degrade events), the coordinator
+	// merge, and the movement/compute totals as attributes.
+	Tracer *trace.Tracer
 }
 
 // New builds a cluster with n worker nodes ("node1".."nodeN") plus a
@@ -134,6 +139,15 @@ func (r Report) String() string {
 func (c *Cluster) RunCentral(job Job) (Report, error) {
 	coord := c.Nodes[c.Coordinator]
 	rep := Report{Strategy: "central", PerNode: map[string]int64{}}
+	sp := c.Tracer.Start(nil, "cluster:central")
+	sp.SetInt("inputs", int64(len(job.Inputs)))
+	sp.SetInt("stages", int64(len(job.Stages)))
+	defer func() {
+		sp.SetInt("bytes_moved", rep.BytesMoved)
+		sp.SetFloat("network_secs", rep.NetworkSecs)
+		sp.SetFloat("compute_secs", rep.ComputeSecs)
+		sp.End()
+	}()
 	var paths []string
 	var maxTransfer float64
 	perSource := map[string]int64{}
@@ -169,7 +183,13 @@ func (c *Cluster) RunCentral(job Job) (Report, error) {
 		return rep, err
 	}
 	var out bytes.Buffer
-	if _, err := exec.Run(g, c.execEnv(coord, &out)); err != nil {
+	esp := sp.Child("execute")
+	env := c.execEnv(coord, &out)
+	env.Span = esp
+	_, err = exec.Run(g, env)
+	esp.End()
+	if err != nil {
+		sp.SetStr("error", err.Error())
 		return rep, err
 	}
 	est, err := cost.EstimateGraph(g, c.inputsFor(coord), coord.Profile, true)
@@ -219,6 +239,16 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 		central.Strategy = "placement(degenerate)"
 		return central, err
 	}
+	sp := c.Tracer.Start(nil, "cluster:placement")
+	sp.SetInt("prefix_stages", int64(len(prefix)))
+	sp.SetInt("suffix_stages", int64(len(suffix)))
+	defer func() {
+		sp.SetInt("bytes_moved", rep.BytesMoved)
+		sp.SetInt("degraded_stages", int64(rep.DegradedStages))
+		sp.SetFloat("network_secs", rep.NetworkSecs)
+		sp.SetFloat("compute_secs", rep.ComputeSecs)
+		sp.End()
+	}()
 	coord := c.Nodes[c.Coordinator]
 	// Group inputs by node, preserving job order within each node.
 	byNode := map[string][]string{}
@@ -241,15 +271,20 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 			return rep, err
 		}
 		var partial bytes.Buffer
+		nsp := sp.Child("place:" + nodeName)
 		env := c.execEnv(node, &partial)
 		env.Faults = c.WorkerFaults
+		env.Span = nsp
 		var nodeCompute float64
 		if _, err := exec.Run(g, env); err != nil {
 			// Graceful degradation: a worker stage that fails retries on
 			// the coordinator over the raw inputs — the job degrades
 			// toward RunCentral one stage at a time instead of dying.
+			nsp.EventStr("degrade", "cause", err.Error())
 			moved, secs, derr := c.degradePrefix(nodeName, byNode[nodeName], prefix, &partial)
 			if derr != nil {
+				nsp.SetStr("error", derr.Error())
+				nsp.End()
 				return rep, fmt.Errorf("cluster: %s failed and coordinator retry failed: %w", nodeName, derr)
 			}
 			rep.DegradedStages++
@@ -258,9 +293,12 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 				maxTransfer = t
 			}
 			nodeCompute = secs
+			nsp.SetBool("degraded", true)
+			nsp.SetInt("raw_bytes_shipped", moved)
 		} else {
 			est, err := cost.EstimateGraph(g, c.inputsFor(node), node.Profile, true)
 			if err != nil {
+				nsp.End()
 				return rep, err
 			}
 			nodeCompute = est.Seconds
@@ -271,7 +309,11 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 				}
 			}
 			rep.PerNode[nodeName] = localBytes
+			nsp.SetInt("local_bytes", localBytes)
 		}
+		nsp.SetFloat("compute_secs", nodeCompute)
+		nsp.SetInt("partial_bytes", int64(partial.Len()))
+		nsp.End()
 		if nodeCompute > maxNodeCompute {
 			maxNodeCompute = nodeCompute
 		}
@@ -296,7 +338,15 @@ func (c *Cluster) RunPlacement(job Job) (Report, error) {
 		return rep, err
 	}
 	var out bytes.Buffer
-	if _, err := exec.Run(g, c.execEnv(coord, &out)); err != nil {
+	msp := sp.Child("merge")
+	msp.SetInt("partials", int64(len(partialPaths)))
+	msp.SetStr("agg", fmt.Sprint(agg))
+	env := c.execEnv(coord, &out)
+	env.Span = msp
+	_, err = exec.Run(g, env)
+	msp.End()
+	if err != nil {
+		sp.SetStr("error", err.Error())
 		return rep, err
 	}
 	est, err := cost.EstimateGraph(g, c.inputsFor(coord), coord.Profile, true)

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"jash/internal/rewrite"
 	"jash/internal/spec"
 	"jash/internal/syntax"
+	"jash/internal/trace"
 	"jash/internal/vfs"
 )
 
@@ -137,6 +139,14 @@ type Shell struct {
 	Mode    Mode
 	// Trace, when non-nil, receives one line per JIT decision.
 	Trace io.Writer
+	// Tracer, when non-nil, records structured telemetry for the session
+	// (internal/trace): a span tree per top-level command — parse, then
+	// per pipeline the expansion, analysis preflight (hazard verdicts),
+	// JIT decision, and per-node execution — plus fallback, breaker, and
+	// list-parallel events, and a registry of counters and latency
+	// histograms mirroring Stats. Attach with EnableTracing so the
+	// interpreter side is wired too. A nil Tracer costs nothing.
+	Tracer *trace.Tracer
 	// Incremental, when non-nil, routes stdout-bound dataflow regions
 	// through the memoizing runner (§4's incremental computation built on
 	// the JIT's up-to-date knowledge of input state). Enable with
@@ -171,6 +181,11 @@ type Shell struct {
 	breakers map[string]*breakerState
 	// now is the breaker's clock; tests override it to step time.
 	now func() time.Time
+	// cmdSpan is the span of the top-level command currently running, the
+	// parent of every pipeline span it triggers. Written only by Run's
+	// goroutine between commands; list-region workers read it after the
+	// write, so no lock is needed.
+	cmdSpan *trace.Span
 
 	// mu serializes the session state the observer mutates — Stats, the
 	// breaker ledger, the profile's burst-credit balance, and the trace
@@ -247,6 +262,13 @@ func (s *Shell) EnableIncremental() *incr.Runner {
 	return s.Incremental
 }
 
+// EnableTracing attaches a tracer to the session and its interpreter, so
+// both JIT-executed and interpreted pipelines record spans.
+func (s *Shell) EnableTracing(tr *trace.Tracer) {
+	s.Tracer = tr
+	s.Interp.Tracer = tr
+}
+
 // New creates a shell over the filesystem with the given resource profile
 // and mode. Standard streams default to discard; set them on Interp.
 func New(fs *vfs.FS, profile *cost.Profile, mode Mode) *Shell {
@@ -280,18 +302,32 @@ func (s *Shell) Run(src string) (int, error) {
 			s.runDeadlineTraps()
 			return 124, s.Ctx.Err()
 		}
+		csp := s.Tracer.Start(nil, "command")
+		psp := csp.Child("parse")
 		stmts, n, err := syntax.ParseCommand(rest)
+		psp.End()
 		if err != nil {
+			csp.SetStr("error", err.Error())
+			csp.End()
 			return 2, err
 		}
 		if n == 0 {
+			csp.End()
 			break
 		}
 		rest = rest[n:]
 		if len(stmts) == 0 {
+			csp.End()
 			continue
 		}
+		if csp != nil {
+			csp.SetStr("text", syntax.PrintStmts(stmts))
+		}
+		s.cmdSpan = csp
 		status, err = s.runStmtsTop(stmts)
+		s.cmdSpan = nil
+		csp.SetInt("status", int64(status))
+		csp.End()
 		if err != nil {
 			return status, err
 		}
@@ -350,20 +386,38 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		return 0, false
 	}
 	start := time.Now()
+	tr := s.Tracer
+	root := tr.Start(s.cmdSpan, "pipeline")
+	defer func() {
+		tr.Metrics().Histogram(trace.MetricPlanWall).Observe(time.Since(start))
+		root.End()
+	}()
+	tr.Metrics().Counter(trace.MetricPlansTotal).Add(1)
 	// PaSh is ahead-of-time: it sees the script text, not the shell state,
 	// so any word that needs expansion hides the dataflow from it (§3.2:
 	// "neither PaSh nor POSH optimize this script"). Jash expands first.
 	staticOnly := s.Mode == ModePaSh
+	xsp := root.Child("expand")
 	graph, facts, text, ok := s.analyze(in, st, staticOnly)
+	xsp.End()
 	if !ok {
+		root.SetStr("outcome", "interpret").SetStr("reason", "ineligible")
 		s.bumpInterpreted()
 		return 0, false
 	}
+	root.SetStr("text", text)
 	// Static preflight: a dataflow plan runs every node concurrently, so
 	// any pair of nodes whose effect summaries conflict on a file would
 	// race. Such a region is never compiled — the interpreter's
 	// left-to-right, stage-by-stage semantics are the only safe ones.
-	if hz := analysis.GraphHazards(graph, s.Lib, in.Dir); len(hz) > 0 {
+	pre := root.Child("preflight")
+	hz := analysis.GraphHazards(graph, s.Lib, in.Dir)
+	if len(hz) > 0 {
+		pre.SetStr("verdict", "hazard").SetStr("hazard", hz[0].String())
+		pre.End()
+		root.SetStr("outcome", "hazard-reject")
+		tr.Metrics().Counter(trace.MetricHazardRejects).Add(1)
+		tr.Metrics().Counter(trace.MetricPlansInterp).Add(1)
 		s.mu.Lock()
 		s.Stats.Interpreted++
 		s.Stats.HazardRejects++
@@ -372,6 +426,8 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		s.mu.Unlock()
 		return 0, false
 	}
+	pre.SetStr("verdict", "clear")
+	pre.End()
 	// JIT circuit breaker: a region that keeps failing at runtime is not
 	// re-compiled forever — after BreakerThreshold failures it is
 	// quarantined to the interpreter until the decay interval admits a
@@ -379,14 +435,20 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	s.mu.Lock()
 	if s.quarantined(text) {
 		_, decay := s.breakerLimits()
+		failures := s.breakers[text].failures
 		s.Stats.Interpreted++
 		s.Stats.Quarantined++
 		s.recordLocked(Decision{Pipeline: text, Strategy: "quarantine",
-			Reason: fmt.Sprintf("region failed %d times; interpreting (half-open probe after %v)", s.breakers[text].failures, decay)})
+			Reason: fmt.Sprintf("region failed %d times; interpreting (half-open probe after %v)", failures, decay)})
 		s.mu.Unlock()
+		root.SetStr("outcome", "quarantine")
+		root.EventInt("quarantine", "failures", int64(failures))
+		tr.Metrics().Counter(trace.MetricQuarantined).Add(1)
+		tr.Metrics().Counter(trace.MetricPlansInterp).Add(1)
 		return 0, false
 	}
 	s.mu.Unlock()
+	psp := root.Child("plan")
 	var chosen *dfg.Graph
 	var dec rewrite.Decision
 	var err error
@@ -397,6 +459,9 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		chosen, dec, err = rewrite.JashPlan(graph, facts, s.Profile)
 	}
 	if err != nil {
+		psp.SetStr("verdict", "declined").SetStr("reason", err.Error())
+		psp.End()
+		root.SetStr("outcome", "interpret")
 		s.bumpInterpreted()
 		return 0, false
 	}
@@ -412,6 +477,10 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	if err != nil {
 		s.Stats.Interpreted++
 		s.mu.Unlock()
+		psp.SetStr("verdict", "declined").SetStr("reason", err.Error())
+		psp.End()
+		root.SetStr("outcome", "interpret")
+		tr.Metrics().Counter(trace.MetricPlansInterp).Add(1)
 		return 0, false
 	}
 	s.Stats.VirtualSeconds += est.Seconds
@@ -437,8 +506,24 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	s.Stats.Optimized++
 	s.Stats.Concretized += len(wits)
 	s.mu.Unlock()
+	psp.SetStr("verdict", "compiled").SetStr("strategy", strategy)
+	psp.SetInt("width", int64(dec.Width)).SetStr("reason", dec.Reason)
+	psp.SetFloat("est_seconds", est.Seconds)
+	psp.SetFloat("seq_seconds", dec.SequentialEstimate.Seconds)
+	psp.SetInt("input_bytes", d.InputBytes)
+	psp.SetInt("witnesses", int64(len(wits)))
+	if root != nil && len(wits) > 0 {
+		psp.SetStr("witness_list", strings.Join(wits, "; "))
+	}
+	psp.End()
+	tr.Metrics().Counter(trace.MetricPlansOptimized).Add(1)
+	tr.Metrics().Counter(trace.MetricConcretized).Add(int64(len(wits)))
+	// Dispatch latency: interposition start to plan hand-off.
+	tr.Metrics().Histogram(trace.MetricDispatchLatency).Observe(planning)
 	// Execute the plan for real over the VFS, through the incremental
 	// cache when one is attached.
+	esp := root.Child("execute")
+	esp.SetStr("strategy", strategy)
 	metrics := &exec.RunMetrics{}
 	env := &exec.Env{
 		FS:           s.FS,
@@ -452,6 +537,7 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		Lib:          s.Lib,
 		Retries:      s.Retries,
 		StallTimeout: s.StallTimeout,
+		Span:         esp,
 	}
 	ctx := s.Ctx
 	if ctx == nil {
@@ -462,12 +548,28 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 	if s.Incremental != nil {
 		var kind string
 		status, kind, runErr = s.Incremental.RunContext(ctx, chosen, env)
-		if s.Trace != nil && runErr == nil {
-			fmt.Fprintf(s.Trace, "jash[%s]: incremental cache: %s\n", s.Mode, kind)
+		if runErr == nil {
+			esp.SetStr("incremental", kind)
+			if s.Trace != nil {
+				s.mu.Lock()
+				fmt.Fprintf(s.Trace, "jash[%s]: incremental cache: %s\n", s.Mode, kind)
+				s.mu.Unlock()
+			}
 		}
 	} else {
 		status, runErr = exec.RunContext(ctx, chosen, env)
 	}
+	esp.SetInt("status", int64(status))
+	esp.SetInt("sink_bytes", metrics.SinkBytes)
+	esp.SetInt("bytes_moved", metrics.TotalBytesMoved())
+	esp.SetInt("retries", int64(metrics.Retries))
+	if runErr != nil {
+		esp.SetStr("error", runErr.Error())
+	}
+	esp.End()
+	tr.Metrics().Counter(trace.MetricSinkBytes).Add(metrics.SinkBytes)
+	tr.Metrics().Counter(trace.MetricBytesMoved).Add(metrics.TotalBytesMoved())
+	tr.Metrics().Counter(trace.MetricRetries).Add(int64(metrics.Retries))
 	// Attach the measured counters to the decision recorded above.
 	s.mu.Lock()
 	s.Stats.Decisions[di].Nodes = metrics.Nodes
@@ -480,13 +582,20 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 		// diagnostic here: Run's deadline check reports it once. The
 		// breaker ignores it too.
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			root.SetStr("outcome", "cancelled")
 			return 124, true
 		}
 		s.mu.Lock()
 		s.breakerFailure(text)
+		breakerOpen := s.quarantined(text)
 		s.Stats.Fallbacks++
 		d := &s.Stats.Decisions[di]
 		d.Strategy = "fallback-interpret"
+		root.SetStr("outcome", "fallback-interpret")
+		tr.Metrics().Counter(trace.MetricFallbacks).Add(1)
+		if breakerOpen {
+			root.EventStr("breaker-open", "region", text)
+		}
 		// Fallback-before-first-byte: if the failed plan emitted nothing,
 		// the interpreter can re-run the pipeline from pristine state —
 		// the paper's no-regression rule extended to faults. Analyze
@@ -498,6 +607,7 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 				fmt.Fprintf(s.Trace, "jash[%s]: plan failed (%v); falling back to interpreter\n", s.Mode, runErr)
 			}
 			s.mu.Unlock()
+			root.EventStr("fallback", "kind", "pristine")
 			return 0, false
 		}
 		// Journaled mid-stream fallback: the sink committed a line-aligned
@@ -509,11 +619,17 @@ func (s *Shell) observe(in *interp.Interp, st *syntax.Stmt) (int, bool) {
 			fmt.Fprintf(s.Trace, "jash[%s]: plan failed mid-stream (%v); journaled fallback skipping %d bytes\n", s.Mode, runErr, metrics.SinkBytes)
 		}
 		s.mu.Unlock()
+		if root != nil {
+			root.EventKV("fallback", map[string]any{
+				"kind": "journaled", "committed_bytes": metrics.SinkBytes,
+			})
+		}
 		return s.replayJournaled(in, st, chosen, metrics.SinkBytes)
 	}
 	s.mu.Lock()
 	s.breakerSuccess(text)
 	s.mu.Unlock()
+	root.SetStr("outcome", strategy)
 	return status, true
 }
 
@@ -522,6 +638,7 @@ func (s *Shell) bumpInterpreted() {
 	s.mu.Lock()
 	s.Stats.Interpreted++
 	s.mu.Unlock()
+	s.Tracer.Metrics().Counter(trace.MetricPlansInterp).Add(1)
 }
 
 // skipWriter discards the first skip bytes it is handed and passes the

@@ -10,6 +10,7 @@ import (
 	"jash/internal/interp"
 	"jash/internal/rewrite"
 	"jash/internal/syntax"
+	"jash/internal/trace"
 )
 
 // runStmtsTop dispatches one parsed command unit — the `cmd1; cmd2; ...`
@@ -52,10 +53,12 @@ func (s *Shell) runStmtsTop(stmts []*syntax.Stmt) (int, error) {
 	if len(cand) < 2 {
 		return in.RunStmts(stmts)
 	}
+	lsp := s.cmdSpan.Child("list-plan")
 	plan, dec := rewrite.ParallelizeList(cand, rewrite.ListOptions{
 		Lib:   s.Lib,
 		Dir:   in.Dir,
 		Cores: s.Profile.Cores,
+		Span:  lsp,
 		IsFunc: func(name string) bool {
 			_, ok := in.Funcs[name]
 			return ok
@@ -70,6 +73,9 @@ func (s *Shell) runStmtsTop(stmts []*syntax.Stmt) (int, error) {
 		},
 		FuncBody: func(name string) syntax.Command { return in.Funcs[name] },
 	})
+	lsp.SetBool("parallel", dec.Parallel)
+	lsp.SetStr("reason", dec.Reason)
+	lsp.End()
 	if !dec.Parallel {
 		// Refusals of multi-statement lists are recorded for jashexplain
 		// and -stats; the list then runs exactly as before.
@@ -83,14 +89,28 @@ func (s *Shell) runStmtsTop(stmts []*syntax.Stmt) (int, error) {
 	s.Stats.ListParallel += dec.Statements
 	s.Stats.Concretized += dec.Concretized
 	s.mu.Unlock()
+	s.Tracer.Metrics().Counter(trace.MetricListParallel).Add(int64(dec.Statements))
+	s.Tracer.Metrics().Counter(trace.MetricConcretized).Add(int64(dec.Concretized))
+	rsp := s.cmdSpan.Child("list-region")
+	rsp.SetInt("width", int64(dec.Width))
+	rsp.SetInt("statements", int64(dec.Statements))
+	defer rsp.End()
 	status, err := 0, error(nil)
 	for _, g := range plan.Groups {
 		if !g.Parallel {
 			status, err = in.RunStmts(g.Stmts)
 		} else {
+			gsp := rsp.Child("parallel-group")
+			gsp.SetInt("stmts", int64(len(g.Stmts)))
+			gsp.SetInt("width", int64(g.Width))
 			status, err = s.runParallelGroup(in, g)
+			gsp.SetInt("status", int64(status))
+			gsp.End()
 		}
 		if err != nil || in.Exited {
+			if err != nil {
+				rsp.EventStr("region-abort", "cause", err.Error())
+			}
 			break
 		}
 	}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"jash/internal/cost"
+	"jash/internal/exec/faultinject"
+	"jash/internal/trace"
+	"jash/internal/vfs"
+)
+
+// tracedShell builds a Jash shell with a JSONL tracer attached and /big
+// populated; the returned buffer receives the trace stream.
+func tracedShell(t *testing.T, lines int) (*Shell, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	fs := vfs.New()
+	wordsFile(fs, "/big", lines)
+	s, out, _ := newShell(fs, cost.IOOptEC2(), ModeJash)
+	var buf bytes.Buffer
+	s.EnableTracing(trace.New(trace.Options{Writer: &buf}))
+	return s, out, &buf
+}
+
+// readTrace closes the tracer (flushing metric records) and parses the
+// stream back — the same well-formedness gate CI applies via jashtrace.
+func readTrace(t *testing.T, s *Shell, buf *bytes.Buffer) *trace.Data {
+	t.Helper()
+	if err := s.Tracer.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	d, err := trace.Read(buf)
+	if err != nil {
+		t.Fatalf("trace unreadable: %v", err)
+	}
+	return d
+}
+
+func findSpan(d *trace.Data, name string) (trace.SpanRecord, bool) {
+	for _, sp := range d.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return trace.SpanRecord{}, false
+}
+
+func findEvent(d *trace.Data, name string) (trace.EventRecord, bool) {
+	for _, sp := range d.Spans {
+		for _, ev := range sp.Events {
+			if ev.Name == name {
+				return ev, true
+			}
+		}
+	}
+	return trace.EventRecord{}, false
+}
+
+func metricValue(d *trace.Data, name string) float64 {
+	for _, m := range d.Metrics {
+		if m.Name == name {
+			return m.Value
+		}
+	}
+	return 0
+}
+
+// TestTraceJournaledFallback: a fault striking after the sink committed
+// output takes the journaled mid-stream fallback; the trace must say so —
+// outcome attribute, a fallback event carrying the committed byte count,
+// and the fallbacks counter.
+func TestTraceJournaledFallback(t *testing.T) {
+	s, _, buf := tracedShell(t, 80000)
+	s.Faults = faultinject.NewSet(faultinject.Rule{
+		Node: "tr", Op: faultinject.OpWrite, Nth: 8,
+	})
+	if _, err := s.Run("cat /big | tr A-Z a-z\n"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.Fired() == 0 {
+		t.Skip("fault did not fire (plan shape changed)")
+	}
+	d := readTrace(t, s, buf)
+	sp, ok := findSpan(d, "pipeline")
+	if !ok || sp.Attrs["outcome"] != "fallback-interpret" {
+		t.Fatalf("pipeline span outcome = %v, want fallback-interpret", sp.Attrs["outcome"])
+	}
+	ev, ok := findEvent(d, "fallback")
+	if !ok {
+		t.Fatal("no fallback event in trace")
+	}
+	if ev.Attrs["kind"] != "journaled" {
+		t.Errorf("fallback kind = %v, want journaled", ev.Attrs["kind"])
+	}
+	if n, _ := ev.Attrs["committed_bytes"].(float64); n <= 0 {
+		t.Errorf("committed_bytes = %v, want > 0", ev.Attrs["committed_bytes"])
+	}
+	if v := metricValue(d, trace.MetricFallbacks); v != 1 {
+		t.Errorf("fallbacks metric = %v, want 1", v)
+	}
+}
+
+// TestTraceRetryEvent: a healed supervised retry must leave a retry event
+// on the node's span and count in the retries metric.
+func TestTraceRetryEvent(t *testing.T) {
+	s, _, buf := tracedShell(t, 2000)
+	s.Retries = 1
+	// Nth 1: the fault strikes before the node consumed any input, the
+	// only position the effect gate deems safe to replay.
+	s.Faults = faultinject.NewSet(faultinject.Rule{
+		Node: "tr", Op: faultinject.OpRead, Nth: 1,
+	})
+	if _, err := s.Run(fig1Script); err != nil {
+		t.Fatal(err)
+	}
+	if s.Faults.Fired() == 0 {
+		t.Skip("fault did not fire (plan shape changed)")
+	}
+	if s.Stats.Retries == 0 {
+		t.Fatalf("retry did not heal (fallbacks=%d)", s.Stats.Fallbacks)
+	}
+	d := readTrace(t, s, buf)
+	ev, ok := findEvent(d, "retry")
+	if !ok {
+		t.Fatal("no retry event in trace")
+	}
+	if ev.Attrs["cause"] == nil {
+		t.Error("retry event lost its cause")
+	}
+	if v := metricValue(d, trace.MetricRetries); v < 1 {
+		t.Errorf("retries metric = %v, want >= 1", v)
+	}
+}
+
+// TestTraceCancelOutcome: external cancellation striking mid-plan must
+// mark the pipeline span cancelled, never fallback. A stalled fault
+// parks the plan until the session deadline tears it down.
+func TestTraceCancelOutcome(t *testing.T) {
+	s, _, buf := tracedShell(t, 2000)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	s.Ctx = ctx
+	s.Faults = faultinject.NewSet(faultinject.Rule{
+		Node: "tr", Op: faultinject.OpRead, Nth: 2, Mode: faultinject.ModeStall,
+	})
+	if st, _ := s.Run(fig1Script); st != 124 {
+		t.Fatalf("status = %d, want 124", st)
+	}
+	d := readTrace(t, s, buf)
+	sp, ok := findSpan(d, "pipeline")
+	if !ok || sp.Attrs["outcome"] != "cancelled" {
+		t.Fatalf("pipeline span outcome = %v, want cancelled", sp.Attrs["outcome"])
+	}
+	if _, ok := findEvent(d, "fallback"); ok {
+		t.Error("cancelled run recorded a fallback event")
+	}
+}
+
+// TestTraceBreakerTrip drives a region to the breaker threshold and
+// checks the trace shows the whole arc: fallback events for the failing
+// runs, a breaker-open event when the ledger fills, and a quarantine
+// event (with the failure count) on the refused run.
+func TestTraceBreakerTrip(t *testing.T) {
+	s, out, buf := tracedShell(t, 2000)
+	for i := 0; i < cost.BreakerThreshold; i++ {
+		s.Faults = faultinject.NewSet(faultinject.Rule{
+			Node: "tr", Op: faultinject.OpRead, Nth: 2,
+		})
+		out.Reset()
+		if _, err := s.Run(fig1Script); err != nil {
+			t.Fatalf("failure %d: %v", i+1, err)
+		}
+	}
+	s.Faults = nil
+	out.Reset()
+	if _, err := s.Run(fig1Script); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Quarantined != 1 {
+		t.Fatalf("Quarantined=%d, want 1", s.Stats.Quarantined)
+	}
+	d := readTrace(t, s, buf)
+	if _, ok := findEvent(d, "breaker-open"); !ok {
+		t.Error("no breaker-open event in trace")
+	}
+	ev, ok := findEvent(d, "quarantine")
+	if !ok {
+		t.Fatal("no quarantine event in trace")
+	}
+	if n, _ := ev.Attrs["failures"].(float64); int(n) != cost.BreakerThreshold {
+		t.Errorf("quarantine failures = %v, want %d", ev.Attrs["failures"], cost.BreakerThreshold)
+	}
+	if v := metricValue(d, trace.MetricQuarantined); v != 1 {
+		t.Errorf("quarantined metric = %v, want 1", v)
+	}
+}
+
+// TestTraceWellFormedUnderFaults sweeps injected failures across plan
+// positions; whatever the recovery path, the trace stream must stay
+// parseable and every span must close (no unfinished spans leak into the
+// flight snapshot after Run returns).
+func TestTraceWellFormedUnderFaults(t *testing.T) {
+	rules := []faultinject.Rule{
+		{Node: "src:", Op: faultinject.OpRead, Nth: 1},
+		{Node: "tr", Op: faultinject.OpWrite, Nth: 1},
+		{Node: "sort", Op: faultinject.OpRead, Nth: 2, Mode: faultinject.ModePanic},
+	}
+	for i, rule := range rules {
+		s, _, buf := tracedShell(t, 2000)
+		s.Faults = faultinject.NewSet(rule)
+		if _, err := s.Run(fig1Script); err != nil {
+			t.Fatalf("rule %d: %v", i, err)
+		}
+		for _, sp := range s.Tracer.FlightSnapshot() {
+			if sp.Unfinished {
+				t.Errorf("rule %d: span %q leaked unfinished", i, sp.Name)
+			}
+		}
+		d := readTrace(t, s, buf)
+		if len(d.Spans) == 0 {
+			t.Errorf("rule %d: empty trace", i)
+		}
+	}
+}
+
+// TestTraceListParallelRace is the -race regression for telemetry under
+// concurrency: statements of a parallel list region run on interpreter
+// clones that share the Shell (and its tracer), while a reader goroutine
+// concurrently dumps flight snapshots — the cross-goroutine paths the
+// race audit covers (span events under the tracer lock, Stats under the
+// session lock, atomic metric instruments).
+func TestTraceListParallelRace(t *testing.T) {
+	fs := vfs.New()
+	for i := 0; i < 4; i++ {
+		wordsFile(fs, fmt.Sprintf("/in%d", i), 400)
+	}
+	s, _, _ := newShell(fs, cost.IOOptEC2(), ModeJash)
+	var buf bytes.Buffer
+	var bufMu sync.Mutex
+	s.EnableTracing(trace.New(trace.Options{Writer: lockedWriter{&bufMu, &buf}}))
+	script := "sort /in0 >/o0; sort /in1 >/o1; sort /in2 >/o2; sort /in3 >/o3\n"
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.Tracer.WriteFlight(io.Discard)
+			s.Tracer.Metrics().Counter("race_probe").Add(1)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if st, err := s.Run(script); err != nil || st != 0 {
+			t.Fatalf("run %d: st=%d err=%v", i, st, err)
+		}
+	}
+	<-done
+	if s.Stats.ListParallel == 0 {
+		t.Fatal("list region never went parallel; race hammer did not cover the target path")
+	}
+	// Runs and the snapshot goroutine are done; Close writes through the
+	// locked writer itself, so it must not run under bufMu.
+	if err := s.Tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bufMu.Lock()
+	defer bufMu.Unlock()
+	if _, err := trace.Read(&buf); err != nil {
+		t.Fatalf("trace unreadable after concurrent runs: %v", err)
+	}
+}
+
+// lockedWriter serializes trace output with the test's final read; the
+// tracer itself already serializes writes, this guards the test's buffer.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

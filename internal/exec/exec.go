@@ -32,12 +32,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"runtime/pprof"
+
 	"jash/internal/analysis"
 	"jash/internal/coreutils"
 	"jash/internal/cost"
 	"jash/internal/dfg"
 	"jash/internal/exec/faultinject"
 	"jash/internal/spec"
+	"jash/internal/trace"
 	"jash/internal/vfs"
 )
 
@@ -69,6 +72,13 @@ type Env struct {
 	// progress counters stop advancing for this long is aborted,
 	// converting hangs into ordinary recoverable plan errors.
 	StallTimeout time.Duration
+	// Span, when non-nil, is the parent trace span for the run: every
+	// node goroutine opens a child span under it carrying its byte
+	// counters, peak buffering, blocked time, and retries; retries and
+	// stalls additionally land as point events. A nil Span (the default)
+	// disables all tracing work — including pipe blocked-time clocks and
+	// pprof labels — at zero cost.
+	Span *trace.Span
 
 	// tmpDir is the per-run scratch directory, set by Run.
 	tmpDir string
@@ -247,6 +257,10 @@ type nodeSup struct {
 	panicked bool
 
 	retries int // completed re-runs, reported via NodeMetrics.Retries
+
+	// span is the node's trace span (nil when untraced); retry decisions
+	// are stamped on it as events.
+	span *trace.Span
 }
 
 // retryEligible is the static half of the retry gate (see nodeSup).
@@ -366,6 +380,7 @@ func (sup *nodeSup) supervise(env *Env, body func(*Env) int, setStatus func(int)
 		if sup.canRetryNow() {
 			sup.budget--
 			sup.retries++
+			sup.span.EventStr("retry", "cause", fault.Error())
 			if sup.backoff(attempt) {
 				continue
 			}
@@ -504,6 +519,13 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 		pipes[e] = &pipeEnds{r, w}
 		rs.pipes = append(rs.pipes, r.p)
 	}
+	// Traced runs clock every pipe's blocked time; set before any node
+	// goroutine starts so the flag is never written concurrently.
+	if env.Span != nil {
+		for _, p := range rs.pipes {
+			p.timed = true
+		}
+	}
 	// Surface external cancellation as a plan abort. The watcher exits
 	// when the run finishes (watchDone) so it never outlives Run.
 	watchDone := make(chan struct{})
@@ -561,6 +583,7 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 					if cur := progress(); cur != last {
 						last, lastMove = cur, time.Now()
 					} else if time.Since(lastMove) >= env.StallTimeout {
+						env.Span.EventStr("stall", "timeout", env.StallTimeout.String())
 						rs.abort(fmt.Errorf("%w: no progress for %v", ErrStalled, env.StallTimeout))
 						return
 					}
@@ -607,149 +630,193 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 			ctr := counters[n.ID]
 			sup := sups[n.ID]
 			label := n.Label()
+			// Per-node trace span: opened before the attempt loop so retry
+			// events land inside it, closed after supervision with the
+			// final counters attached. sup.span is written before any
+			// other goroutine can observe the sup (the fault paths run on
+			// this goroutine).
+			ns := env.Span.Child("node:" + label)
+			ns.SetStr("kind", n.Kind.String())
+			ns.SetInt("node_id", int64(n.ID))
+			sup.span = ns
 			defer func() {
+				wall := time.Since(start)
 				mu.Lock()
-				walls[n.ID] = time.Since(start)
+				walls[n.ID] = wall
 				mu.Unlock()
-			}()
-			// Last-resort panic containment for the supervision machinery
-			// itself; attempt bodies are contained per-attempt by the
-			// supervisor so retryable nodes survive injected panics.
-			defer func() {
-				if r := recover(); r != nil {
-					setStatus(n.ID, 2)
-					rs.abort(fmt.Errorf("node %d (%s): panic: %v", n.ID, label, r))
+				if ns != nil {
+					var peak int64
+					var blockedW time.Duration
+					for _, e := range g.Out(n.ID) {
+						p := pipes[e].r.p
+						peak += int64(p.peakBuffered())
+						_, w := p.blockedTimes()
+						blockedW += w
+					}
+					var blockedR time.Duration
+					for _, e := range g.In(n.ID) {
+						r, _ := pipes[e].r.p.blockedTimes()
+						blockedR += r
+					}
+					ns.SetInt("bytes_in", ctr.in.Load())
+					ns.SetInt("bytes_out", ctr.out.Load())
+					ns.SetInt("peak_buffered_bytes", peak)
+					ns.SetInt("retries", int64(sup.retries))
+					ns.SetInt("blocked_read_us", blockedR.Microseconds())
+					ns.SetInt("blocked_write_us", blockedW.Microseconds())
+					ns.Tracer().Metrics().Histogram(trace.MetricNodeWall).Observe(wall)
+					ns.Tracer().Metrics().Counter(trace.MetricNodesTotal).Add(1)
+					ns.End()
 				}
 			}()
-			ins := g.In(n.ID)
-			outs := g.Out(n.ID)
-			inReaders := make([]io.Reader, len(ins))
-			for i, e := range ins {
-				var r io.Reader = pipes[e].r
-				if env.Faults != nil {
-					r = &faultReader{r: r, sup: sup, set: env.Faults, label: label}
-				}
-				inReaders[i] = &countingReader{r, &ctr.in}
-			}
-			outWriters := make([]io.Writer, len(outs))
-			for i, e := range outs {
-				var w io.Writer = pipes[e].w
-				if env.Faults != nil {
-					w = &faultWriter{w: w, sup: sup, set: env.Faults, label: label}
-				}
-				outWriters[i] = &countingWriter{w, &ctr.out}
-			}
-			closeOuts := func() {
-				for _, e := range outs {
-					pipes[e].w.Close()
-				}
-			}
-			closeIns := func() {
-				for _, e := range ins {
-					pipes[e].r.Close()
-				}
-			}
-			defer closeOuts()
-			defer closeIns()
-			// The attempt body: pipes and counters persist across attempts
-			// (the retry gate guarantees nothing was consumed or emitted),
-			// while per-attempt state — the source's file handle, the
-			// stderr buffer in env — is rebuilt each time.
-			body := func(env *Env) int {
-				switch n.Kind {
-				case dfg.KindSource:
-					var src io.Reader
-					if n.Path == "" {
-						src = env.Stdin
-						if src == nil {
-							src = strings.NewReader("")
-						}
-					} else {
-						if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
-							sup.noteFault(err)
-							return 1
-						}
-						rc, err := env.FS.Open(lookup(env.Dir, n.Path))
-						if err != nil {
-							sup.noteFault(err)
-							return 1
-						}
-						defer rc.Close()
-						src = rc
+			runNode := func() {
+				// Last-resort panic containment for the supervision
+				// machinery itself; attempt bodies are contained
+				// per-attempt by the supervisor so retryable nodes survive
+				// injected panics.
+				defer func() {
+					if r := recover(); r != nil {
+						setStatus(n.ID, 2)
+						rs.abort(fmt.Errorf("node %d (%s): panic: %v", n.ID, label, r))
 					}
+				}()
+				ins := g.In(n.ID)
+				outs := g.Out(n.ID)
+				inReaders := make([]io.Reader, len(ins))
+				for i, e := range ins {
+					var r io.Reader = pipes[e].r
 					if env.Faults != nil {
-						src = &faultReader{r: src, sup: sup, set: env.Faults, label: label}
+						r = &faultReader{r: r, sup: sup, set: env.Faults, label: label}
 					}
-					io.Copy(outWriters[0], &countingReader{src, &ctr.in})
-					return 0
-				case dfg.KindSink:
-					var dst io.Writer = env.Stdout
-					if dst == nil {
-						dst = io.Discard
-					}
-					var fileOut io.WriteCloser
-					if n.Path != "" {
-						if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
-							sup.noteFault(err)
-							return 1
-						}
-						w, err := openSink(env, n)
-						if err != nil {
-							sup.noteFault(err)
-							return 1
-						}
-						fileOut = w
-						dst = w
-					}
+					inReaders[i] = &countingReader{r, &ctr.in}
+				}
+				outWriters := make([]io.Writer, len(outs))
+				for i, e := range outs {
+					var w io.Writer = pipes[e].w
 					if env.Faults != nil {
-						dst = &faultWriter{w: dst, sup: sup, set: env.Faults, label: label}
+						w = &faultWriter{w: w, sup: sup, set: env.Faults, label: label}
 					}
-					// Journal the committed output at line granularity: the
-					// counter below the journal records the line-aligned
-					// offset a mid-stream fallback replays against.
-					jw := &journalWriter{w: &countingWriter{dst, &ctr.out}}
-					_, cerr := io.Copy(jw, inReaders[0])
-					if cerr == nil {
-						cerr = jw.flush()
+					outWriters[i] = &countingWriter{w, &ctr.out}
+				}
+				closeOuts := func() {
+					for _, e := range outs {
+						pipes[e].w.Close()
 					}
-					if fileOut != nil {
-						if cerr != nil && ctr.out.Load() == 0 {
-							// The plan failed before the first committed
-							// byte: leave the destination untouched (a vfs
-							// fileWriter commits only on Close), so a
-							// fallback re-run starts from pristine state.
+				}
+				closeIns := func() {
+					for _, e := range ins {
+						pipes[e].r.Close()
+					}
+				}
+				defer closeOuts()
+				defer closeIns()
+				// The attempt body: pipes and counters persist across attempts
+				// (the retry gate guarantees nothing was consumed or emitted),
+				// while per-attempt state — the source's file handle, the
+				// stderr buffer in env — is rebuilt each time.
+				body := func(env *Env) int {
+					switch n.Kind {
+					case dfg.KindSource:
+						var src io.Reader
+						if n.Path == "" {
+							src = env.Stdin
+							if src == nil {
+								src = strings.NewReader("")
+							}
 						} else {
-							// Commit — on failure, exactly the journaled
-							// line-aligned prefix, which SinkBytes reports.
-							fileOut.Close()
+							if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+								sup.noteFault(err)
+								return 1
+							}
+							rc, err := env.FS.Open(lookup(env.Dir, n.Path))
+							if err != nil {
+								sup.noteFault(err)
+								return 1
+							}
+							defer rc.Close()
+							src = rc
 						}
+						if env.Faults != nil {
+							src = &faultReader{r: src, sup: sup, set: env.Faults, label: label}
+						}
+						io.Copy(outWriters[0], &countingReader{src, &ctr.in})
+						return 0
+					case dfg.KindSink:
+						var dst io.Writer = env.Stdout
+						if dst == nil {
+							dst = io.Discard
+						}
+						var fileOut io.WriteCloser
+						if n.Path != "" {
+							if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+								sup.noteFault(err)
+								return 1
+							}
+							w, err := openSink(env, n)
+							if err != nil {
+								sup.noteFault(err)
+								return 1
+							}
+							fileOut = w
+							dst = w
+						}
+						if env.Faults != nil {
+							dst = &faultWriter{w: dst, sup: sup, set: env.Faults, label: label}
+						}
+						// Journal the committed output at line granularity: the
+						// counter below the journal records the line-aligned
+						// offset a mid-stream fallback replays against.
+						jw := &journalWriter{w: &countingWriter{dst, &ctr.out}}
+						_, cerr := io.Copy(jw, inReaders[0])
+						if cerr == nil {
+							cerr = jw.flush()
+						}
+						if fileOut != nil {
+							if cerr != nil && ctr.out.Load() == 0 {
+								// The plan failed before the first committed
+								// byte: leave the destination untouched (a vfs
+								// fileWriter commits only on Close), so a
+								// fallback re-run starts from pristine state.
+							} else {
+								// Commit — on failure, exactly the journaled
+								// line-aligned prefix, which SinkBytes reports.
+								fileOut.Close()
+							}
+						}
+						return 0
+					case dfg.KindSplit:
+						closers := make([]func(), len(outs))
+						for i, e := range outs {
+							w := pipes[e].w
+							closers[i] = func() { w.Close() }
+						}
+						return runSplit(n, inReaders[0], outWriters, closers, splitLaneTarget(g, n, env))
+					case dfg.KindMerge:
+						return runMerge(n, inReaders, outWriters[0], env)
+					case dfg.KindTee:
+						return runTee(inReaders[0], outWriters)
+					case dfg.KindAgg:
+						return runAgg(n, inReaders, outWriters[0], env)
+					case dfg.KindCommand:
+						cmdEnv := env
+						if laneNodes[n.ID] {
+							le := *env
+							le.laneStrict = true
+							cmdEnv = &le
+						}
+						return runCommand(n, inReaders, outWriters[0], cmdEnv)
 					}
 					return 0
-				case dfg.KindSplit:
-					closers := make([]func(), len(outs))
-					for i, e := range outs {
-						w := pipes[e].w
-						closers[i] = func() { w.Close() }
-					}
-					return runSplit(n, inReaders[0], outWriters, closers, splitLaneTarget(g, n, env))
-				case dfg.KindMerge:
-					return runMerge(n, inReaders, outWriters[0], env)
-				case dfg.KindTee:
-					return runTee(inReaders[0], outWriters)
-				case dfg.KindAgg:
-					return runAgg(n, inReaders, outWriters[0], env)
-				case dfg.KindCommand:
-					cmdEnv := env
-					if laneNodes[n.ID] {
-						le := *env
-						le.laneStrict = true
-						cmdEnv = &le
-					}
-					return runCommand(n, inReaders, outWriters[0], cmdEnv)
 				}
-				return 0
+				sup.supervise(env, body, func(st int) { setStatus(n.ID, st) })
 			}
-			sup.supervise(env, body, func(st int) { setStatus(n.ID, st) })
+			if ns != nil {
+				// Traced runs label the node's goroutine for CPU profiles,
+				// so a pprof flamegraph attributes samples per plan node.
+				pprof.Do(ctx, pprof.Labels("jash_node", label), func(context.Context) { runNode() })
+			} else {
+				runNode()
+			}
 		}(n)
 	}
 	wg.Wait()
@@ -771,7 +838,14 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 				Retries:  sups[n.ID].retries,
 			}
 			for _, e := range g.Out(n.ID) {
-				nm.PeakBufferedBytes += int64(pipes[e].r.p.peakBuffered())
+				p := pipes[e].r.p
+				nm.PeakBufferedBytes += int64(p.peakBuffered())
+				_, w := p.blockedTimes()
+				nm.BlockedWrite += w
+			}
+			for _, e := range g.In(n.ID) {
+				r, _ := pipes[e].r.p.blockedTimes()
+				nm.BlockedRead += r
 			}
 			metrics.Nodes = append(metrics.Nodes, nm)
 			metrics.Retries += nm.Retries

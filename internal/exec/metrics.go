@@ -28,6 +28,12 @@ type NodeMetrics struct {
 	// Retries counts the node's supervised re-runs: failed attempts that
 	// the effect gate deemed safe to repeat.
 	Retries int
+	// BlockedRead / BlockedWrite are the cumulative durations the node's
+	// pipe operations spent parked — reads waiting for upstream data,
+	// writes waiting on downstream backpressure. Measured only when the
+	// run is traced (Env.Span non-nil); zero otherwise.
+	BlockedRead  time.Duration
+	BlockedWrite time.Duration
 }
 
 // RunMetrics collects per-node counters for one graph execution. Attach

@@ -3,6 +3,7 @@ package exec
 import (
 	"io"
 	"sync"
+	"time"
 )
 
 // pipeBlockSize is the unit of pooled pipe chunks, matching the
@@ -72,6 +73,33 @@ type boundedPipe struct {
 
 	werr error // non-nil once the write end closed (io.EOF = clean)
 	rerr error // non-nil once the read end closed
+
+	// timed enables blocked-time accounting (set once, before the run's
+	// goroutines start, when tracing is on). Untraced pipes skip the
+	// clock reads entirely so the hot path stays unchanged.
+	timed bool
+	waitR time.Duration // reader-side time parked waiting for data
+	waitW time.Duration // writer-side time parked on backpressure
+}
+
+// waitLocked parks on the condition variable, charging the blocked
+// interval to dst when timing is enabled.
+func (p *boundedPipe) waitLocked(dst *time.Duration) {
+	if !p.timed {
+		p.cond.Wait()
+		return
+	}
+	start := time.Now()
+	p.cond.Wait()
+	*dst += time.Since(start)
+}
+
+// blockedTimes reports the cumulative reader- and writer-side blocked
+// durations (zero unless timing was enabled).
+func (p *boundedPipe) blockedTimes() (r, w time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waitR, p.waitW
 }
 
 // newBoundedPipe returns the two ends of a pipe with the given capacity.
@@ -131,7 +159,7 @@ func (p *boundedPipe) read(b []byte) (int, error) {
 		if p.werr != nil {
 			return 0, p.werr
 		}
-		p.cond.Wait()
+		p.waitLocked(&p.waitR)
 	}
 	total := 0
 	for total < len(b) && p.n > 0 {
@@ -160,7 +188,7 @@ func (p *boundedPipe) write(b []byte) (int, error) {
 			return total, io.ErrClosedPipe
 		}
 		if p.n >= p.capacity {
-			p.cond.Wait()
+			p.waitLocked(&p.waitW)
 			continue
 		}
 		room := p.capacity - p.n
@@ -220,7 +248,7 @@ func (p *boundedPipe) writeOwned(b []byte) (int, error) {
 		if p.n < p.capacity {
 			break
 		}
-		p.cond.Wait()
+		p.waitLocked(&p.waitW)
 	}
 	p.pushLocked(b, false)
 	p.cond.Broadcast()
@@ -240,7 +268,7 @@ func (p *boundedPipe) takeChunk() (data, base []byte, err error) {
 		if p.werr != nil {
 			return nil, nil, p.werr
 		}
-		p.cond.Wait()
+		p.waitLocked(&p.waitR)
 	}
 	head := p.chunks[0]
 	data = head[p.rOff:]

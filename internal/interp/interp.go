@@ -19,6 +19,7 @@ import (
 	"jash/internal/expand"
 	"jash/internal/pattern"
 	"jash/internal/syntax"
+	"jash/internal/trace"
 	"jash/internal/vfs"
 )
 
@@ -87,6 +88,12 @@ type Interp struct {
 	// walker is the oracle the compiled path is checked against) and as
 	// the baseline configuration of the throughput benchmark.
 	NoCompile bool
+
+	// Tracer, when non-nil, records spans for interpreted multi-stage
+	// pipelines (the work the JIT declined). Simple commands are left
+	// untraced deliberately: a per-builtin span would fire once per loop
+	// iteration and swamp both the trace and the tracing budget.
+	Tracer *trace.Tracer
 
 	// cache memoizes compiled program fragments per AST node; subshell
 	// clones share it (AST nodes are immutable, and the map is
@@ -311,7 +318,7 @@ func (in *Interp) subshell() *Interp {
 		// POSIX resets subshell traps to their defaults; the umask carries
 		// over.
 		Traps: map[string]string{}, Umask: in.Umask,
-		Observer: in.Observer, Cancel: in.Cancel,
+		Observer: in.Observer, Cancel: in.Cancel, Tracer: in.Tracer,
 		// The cache pointer is copied as-is: in compiled mode it is always
 		// non-nil by the time a clone is made (stmt() forces it), and lazy
 		// creation here would race among pipeline-stage goroutines.
@@ -462,6 +469,12 @@ func (in *Interp) runPipes(cmds []syntax.Command) {
 // its stdout), so both go through one lock.
 func (in *Interp) runPipeStages(stages []func(*Interp)) {
 	n := len(stages)
+	sp := in.Tracer.Start(nil, "interpret:pipeline")
+	sp.SetInt("stages", int64(n))
+	defer func() {
+		sp.SetInt("status", int64(in.Status))
+		sp.End()
+	}()
 	var outMu sync.Mutex
 	sharedErr := &lockedWriter{mu: &outMu, w: in.Stderr}
 	sharedOut := &lockedWriter{mu: &outMu, w: in.Stdout}

@@ -9,6 +9,7 @@ import (
 	"jash/internal/cost"
 	"jash/internal/spec"
 	"jash/internal/syntax"
+	"jash/internal/trace"
 )
 
 // ListGroup is one run of statements in a planned command list: either a
@@ -91,6 +92,11 @@ type ListOptions struct {
 	// When set, calls to known functions are summarized through
 	// analysis.FuncSummarizer instead of pinning the statement.
 	FuncBody func(string) syntax.Command
+	// Span, when non-nil, receives the planner's proof trail as trace
+	// events: one "pinned" event per statement the effect system could
+	// not prove commutative (naming its first blocker) and a final
+	// "verdict" event with the decision. A nil Span records nothing.
+	Span *trace.Span
 }
 
 // ParallelizeList plans a `cmd1; cmd2; ...` command list: it summarizes
@@ -167,6 +173,19 @@ func ParallelizeList(stmts []*syntax.Stmt, opts ListOptions) (*ListPlan, ListDec
 		if dec.CdBlockedOnly {
 			dec.Reason = "parallel but for cd: absolute-path statements blocked only by a removable cd"
 		}
+	}
+	if opts.Span != nil {
+		for i, ss := range sums {
+			if len(ss.Blockers) > 0 {
+				opts.Span.EventKV("pinned", map[string]any{
+					"stmt": i + 1, "blocker": ss.Blockers[0],
+				})
+			}
+		}
+		opts.Span.EventKV("verdict", map[string]any{
+			"parallel": dec.Parallel, "width": dec.Width,
+			"statements": dec.Statements, "reason": dec.Reason,
+		})
 	}
 	return plan, dec
 }

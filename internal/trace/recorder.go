@@ -1,0 +1,42 @@
+package trace
+
+// recorder is the flight recorder's storage: a fixed-capacity ring of
+// finished span records. When the ring wraps, the oldest spans fall off
+// — the invariant the whole subsystem is built around is that the last
+// N spans (the most recent plans) are always reconstructible, even
+// after a crash, stall, or quarantine, without the trace ever growing
+// with session length.
+//
+// The recorder itself is not locked; the owning Tracer serializes
+// access under its mutex.
+type recorder struct {
+	buf   []SpanRecord
+	next  int
+	count int
+}
+
+func newRecorder(capacity int) *recorder {
+	return &recorder{buf: make([]SpanRecord, capacity)}
+}
+
+// add appends one finished span, evicting the oldest when full.
+func (r *recorder) add(rec SpanRecord) {
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+}
+
+// snapshot returns the resident spans oldest-first.
+func (r *recorder) snapshot() []SpanRecord {
+	out := make([]SpanRecord, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
