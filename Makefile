@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: all build test vet race fault lint verify bench bench-check \
-	analysis-report analysis-check trace-demo clean
+	analysis-report analysis-check trace-demo fuzz fuzz-smoke fuzz-native \
+	clean
 
 all: verify
 
@@ -24,10 +25,33 @@ race:
 # at every plan position must tear down cleanly, heal via supervised
 # retries where safe, and fall back byte-identically; the seeded chaos
 # sweep runs the whole self-healing stack differentially.
-fault:
+fault: fuzz-smoke
 	$(GO) test -race -count=2 \
 		-run 'Fault|Panic|Cancel|Timeout|Fallback|Hangup|FailingLane|Chaos|Retry|Stall|Journal|Quarantine|Trap|Degrad|Trace' \
 		./internal/exec/... ./internal/core/... ./internal/cluster/...
+
+# fuzz-smoke is the deterministic differential gate (~30s): a fixed seed
+# window through all five engines plus a seeded chaos sweep over both
+# fault layers. Any divergence or invariant violation fails the build;
+# artifacts (repro scripts, triage metadata) land under artifacts/fuzz.
+fuzz-smoke:
+	$(GO) run ./cmd/jashfuzz -n 500 -chaos 100 -q -out artifacts/fuzz
+
+# fuzz is the long differential + chaos soak for nightly runs: a wide
+# seed sweep, the 10k-episode chaos invariant check, and the native
+# coverage-guided parser/expander fuzzers, each under a wall budget.
+fuzz:
+	$(GO) run ./cmd/jashfuzz -n 2000 -chaos 500 -q -out artifacts/fuzz
+	$(GO) test -timeout 30m ./internal/fuzz/ -run TestChaosInvariants -fuzz.chaos=3334
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime 5m -run '^$$' ./internal/syntax/
+	$(GO) test -fuzz='^FuzzParseCommand$$' -fuzztime 2m -run '^$$' ./internal/syntax/
+	$(GO) test -fuzz='^FuzzExpand$$' -fuzztime 5m -run '^$$' ./internal/expand/
+	$(GO) test -fuzz='^FuzzExpandPattern$$' -fuzztime 2m -run '^$$' ./internal/expand/
+
+# fuzz-native runs just the coverage-guided targets briefly (local use).
+fuzz-native:
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime 30s -run '^$$' ./internal/syntax/
+	$(GO) test -fuzz='^FuzzExpand$$' -fuzztime 30s -run '^$$' ./internal/expand/
 
 # lint runs jashlint over the example scripts (warnings and errors fail
 # the build; suppressions are honored) plus go vet.

@@ -106,6 +106,47 @@ func TestFallbackFileSink(t *testing.T) {
 	}
 }
 
+// TestFallbackAppendSinkPanic: a panic on the sink's read after bytes
+// already flowed must still commit the journaled line-aligned prefix to
+// the file before the journaled fallback replays against it — the
+// counted offset and the destination have to agree, or the replay skips
+// bytes that were never written. Found by the chaos soak (seed 7130): a
+// `>>` append inside a loop silently lost one iteration's output while
+// the run reported status 0.
+func TestFallbackAppendSinkPanic(t *testing.T) {
+	script := "cat /big | tr A-Z a-z >>/out\ncat /big | tr A-Z a-z >>/out\n"
+	oracleFS := vfs.New()
+	wordsFile(oracleFS, "/big", 500)
+	o, _, _ := newShell(oracleFS, cost.IOOptEC2(), ModeBash)
+	if _, err := o.Run(script); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := oracleFS.ReadFile("/out")
+
+	// Panic on the sink's second read: the first read's bytes are in the
+	// journal counter, and the unwinding attempt must commit them.
+	fs := vfs.New()
+	wordsFile(fs, "/big", 500)
+	s, _, errb := newShell(fs, cost.IOOptEC2(), ModeJash)
+	s.Faults = faultinject.NewSet(faultinject.Rule{
+		Node: "sink:/out", Op: faultinject.OpRead, Nth: 2, Mode: faultinject.ModePanic,
+	})
+	st, err := s.Run(script)
+	if err != nil || st != 0 {
+		t.Fatalf("st=%d err=%v stderr=%q", st, err, errb.String())
+	}
+	if s.Faults.Fired() == 0 {
+		t.Fatal("fault never fired")
+	}
+	if s.Stats.Fallbacks != 1 {
+		t.Errorf("fallbacks=%d", s.Stats.Fallbacks)
+	}
+	got, rerr := fs.ReadFile("/out")
+	if rerr != nil || string(got) != string(want) {
+		t.Errorf("append sink after panic: %v, %d vs %d bytes", rerr, len(got), len(want))
+	}
+}
+
 // TestFallbackRecordsDecision: the rewritten decision must say what
 // happened so -stats and -trace tell the truth.
 func TestFallbackRecordsDecision(t *testing.T) {

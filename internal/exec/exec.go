@@ -192,7 +192,7 @@ type faultReader struct {
 }
 
 func (f *faultReader) Read(p []byte) (int, error) {
-	if err := f.set.Check(f.label, faultinject.OpRead); err != nil {
+	if err := f.set.CheckRelease(f.label, faultinject.OpRead, f.sup.rs.done); err != nil {
 		f.sup.noteFault(err)
 		return 0, err
 	}
@@ -208,7 +208,7 @@ type faultWriter struct {
 }
 
 func (f *faultWriter) Write(p []byte) (int, error) {
-	if err := f.set.Check(f.label, faultinject.OpWrite); err != nil {
+	if err := f.set.CheckRelease(f.label, faultinject.OpWrite, f.sup.rs.done); err != nil {
 		f.sup.noteFault(err)
 		return 0, err
 	}
@@ -724,7 +724,7 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 								src = strings.NewReader("")
 							}
 						} else {
-							if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+							if err := env.Faults.CheckRelease(label, faultinject.OpOpen, rs.done); err != nil {
 								sup.noteFault(err)
 								return 1
 							}
@@ -748,7 +748,7 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 						}
 						var fileOut io.WriteCloser
 						if n.Path != "" {
-							if err := env.Faults.Check(label, faultinject.OpOpen); err != nil {
+							if err := env.Faults.CheckRelease(label, faultinject.OpOpen, rs.done); err != nil {
 								sup.noteFault(err)
 								return 1
 							}
@@ -760,6 +760,30 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 							fileOut = w
 							dst = w
 						}
+						var cerr error
+						copied := false
+						if fileOut != nil {
+							// Commit in a defer: the journaled fallback replays
+							// against the counted offset, so every counted byte
+							// must be durably in the file even when a fault
+							// panics the copy mid-stream — panic containment
+							// lives above this frame, and a plain Close after
+							// the copy would be skipped on unwind, stranding
+							// the journal. When the attempt fails before the
+							// first committed byte, leave the destination
+							// untouched (a vfs fileWriter commits only on
+							// Close), so a fallback re-run starts from
+							// pristine state.
+							defer func() {
+								failed := !copied || cerr != nil
+								if failed && ctr.out.Load() == 0 {
+									return
+								}
+								// Commit — on failure, exactly the journaled
+								// line-aligned prefix, which SinkBytes reports.
+								fileOut.Close()
+							}()
+						}
 						if env.Faults != nil {
 							dst = &faultWriter{w: dst, sup: sup, set: env.Faults, label: label}
 						}
@@ -767,22 +791,11 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 						// counter below the journal records the line-aligned
 						// offset a mid-stream fallback replays against.
 						jw := &journalWriter{w: &countingWriter{dst, &ctr.out}}
-						_, cerr := io.Copy(jw, inReaders[0])
+						_, cerr = io.Copy(jw, inReaders[0])
 						if cerr == nil {
 							cerr = jw.flush()
 						}
-						if fileOut != nil {
-							if cerr != nil && ctr.out.Load() == 0 {
-								// The plan failed before the first committed
-								// byte: leave the destination untouched (a vfs
-								// fileWriter commits only on Close), so a
-								// fallback re-run starts from pristine state.
-							} else {
-								// Commit — on failure, exactly the journaled
-								// line-aligned prefix, which SinkBytes reports.
-								fileOut.Close()
-							}
-						}
+						copied = true
 						return 0
 					case dfg.KindSplit:
 						closers := make([]func(), len(outs))
@@ -852,14 +865,56 @@ func RunContext(ctx context.Context, g *dfg.Graph, env *Env) (int, error) {
 		}
 		metrics.SinkBytes = sinkBytes
 	}
-	// Pipeline status: the node feeding the sink.
+	// Pipeline status: the node feeding the sink. A parallelized final
+	// stage feeds the sink through a merge/agg relay whose own status is
+	// meaningless — resolve through relays to the command lanes they
+	// recombine and surface the first failing lane, exactly as the
+	// sequential command those lanes replicate would have failed. (Found
+	// by the differential fuzzer: a failing parallelized stage reported
+	// exit 0 and flipped `&&` control flow.)
+	var effectiveStatus func(id int, seen map[int]bool) int
+	effectiveStatus = func(id int, seen map[int]bool) int {
+		if seen[id] {
+			return 0
+		}
+		seen[id] = true
+		// Relay nodes (merge, agg, split, tee) run as supervised nodes too
+		// and record their own — vacuously zero — status; the lanes they
+		// recombine carry the real one, so resolve through them first.
+		// Lane statuses combine by the sequential command's semantics: a
+		// status ≥2 is a hard error any sequential run would have hit, so
+		// it propagates; status 1 is per-chunk (grep's "no match here")
+		// and only stands when every lane reports non-zero.
+		if n := g.Nodes[id]; n != nil {
+			switch n.Kind {
+			case dfg.KindMerge, dfg.KindAgg, dfg.KindSplit, dfg.KindTee:
+				in := g.In(id)
+				soft := len(in) > 0
+				for _, e := range in {
+					st := effectiveStatus(e.From, seen)
+					if st >= 2 {
+						return st
+					}
+					if st == 0 {
+						soft = false
+					}
+				}
+				if soft {
+					return 1
+				}
+				return 0
+			}
+		}
+		if st := statuses[id]; st != nil {
+			return *st
+		}
+		return 0
+	}
 	final := 0
 	if sink != nil {
 		in := g.In(sink.ID)
 		if len(in) == 1 {
-			if st := statuses[in[0].From]; st != nil {
-				final = *st
-			}
+			final = effectiveStatus(in[0].From, map[int]bool{})
 		}
 	}
 	return final, rs.err()

@@ -173,6 +173,16 @@ func (e *Error) Unwrap() error { return e.Err }
 // With a chaos injector armed, every operation additionally draws from
 // the seeded generator. A nil Set is safe and always passes.
 func (s *Set) Check(node string, op Op) error {
+	return s.CheckRelease(node, op, nil)
+}
+
+// CheckRelease is Check with an explicit release channel for ModeStall
+// faults. A Set may be shared by several concurrent plan runs (the JIT's
+// list-parallel regions), so a stall must wait on the teardown of the
+// run that performed the operation — the globally bound channel (Bind)
+// is only a fallback, and under concurrency it may belong to another
+// run whose normal completion never closes it.
+func (s *Set) CheckRelease(node string, op Op, release <-chan struct{}) error {
 	if s == nil {
 		return nil
 	}
@@ -184,7 +194,7 @@ func (s *Set) Check(node string, op Op) error {
 			continue
 		}
 		a.fired.Store(true)
-		return s.deliver(a.Mode, &Error{Node: node, Op: op, Nth: a.Nth, Err: a.Err})
+		return s.deliver(a.Mode, release, &Error{Node: node, Op: op, Nth: a.Nth, Err: a.Err})
 	}
 	if c := s.chaos; c != nil {
 		c.mu.Lock()
@@ -203,19 +213,46 @@ func (s *Set) Check(node string, op Op) error {
 			return nil
 		}
 		c.fired.Add(1)
-		return s.deliver(mode, &Error{Node: node, Op: op, Nth: 0,
+		return s.deliver(mode, release, &Error{Node: node, Op: op, Nth: 0,
 			Err: fmt.Errorf("chaos(seed=%d)", cfg.Seed)})
 	}
 	return nil
 }
 
-// deliver manifests a tripped fault per its mode.
-func (s *Set) deliver(mode Mode, ferr *Error) error {
+// CheckContained is Check for layers that have no panic containment of
+// their own — the interpreter's dispatch/redirection paths and the word
+// expander. A ModePanic fault is converted into the error it carries, so
+// seeded chaos can reach those layers end to end (through the JIT's
+// fallback machinery) without crashing the shell: the executor keeps real
+// panic containment, everything else fails cleanly.
+func (s *Set) CheckContained(node string, op Op) (err error) {
+	if s == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if fe, ok := r.(*Error); ok {
+				err = fe
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.Check(node, op)
+}
+
+// deliver manifests a tripped fault per its mode. For ModeStall the
+// caller-scoped release channel wins; the globally bound one is the
+// fallback for single-run harnesses that only call Bind.
+func (s *Set) deliver(mode Mode, release <-chan struct{}, ferr *Error) error {
 	switch mode {
 	case ModePanic:
 		panic(ferr)
 	case ModeStall:
-		if release := s.currentRelease(); release != nil {
+		if release == nil {
+			release = s.currentRelease()
+		}
+		if release != nil {
 			<-release
 		}
 		return fmt.Errorf("stalled operation released: %w", ferr)

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"jash/internal/exec/faultinject"
 	"jash/internal/pattern"
 	"jash/internal/syntax"
 	"jash/internal/vfs"
@@ -49,6 +50,11 @@ type Expander struct {
 	NoUnset bool
 	// CmdSubst runs a command substitution body and returns its output.
 	CmdSubst func(stmts []*syntax.Stmt) (string, error)
+	// Faults, when non-nil, arms seeded fault injection at the expansion
+	// layer: a tripped fault makes the expansion fail with a non-fatal
+	// ExpandError (ModePanic faults are contained at this boundary), so
+	// chaos soaks exercise the expansion error paths without crashing.
+	Faults *faultinject.Set
 }
 
 // ifs returns the active field separator set.
@@ -197,6 +203,9 @@ func escapeMeta(s string) string {
 // expandParts turns word parts into fragments. inDquote marks that the
 // parts appear within double quotes.
 func (x *Expander) expandParts(parts []syntax.WordPart, inDquote bool) ([]frag, error) {
+	if err := x.Faults.CheckContained("expand:parts", faultinject.OpRead); err != nil {
+		return nil, &ExpandError{Msg: "expansion fault: " + err.Error()}
+	}
 	var frags []frag
 	for _, part := range parts {
 		switch p := part.(type) {

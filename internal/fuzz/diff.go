@@ -1,0 +1,185 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence is one disagreement between an oracle and the reference (or
+// a standalone crash finding in any oracle, reference included).
+type Divergence struct {
+	// Kind is one of "panic", "hang", "leak", "status", "stdout",
+	// "stderr", "fs", "error".
+	Kind string
+	// Oracle names the disagreeing (or crashing) oracle.
+	Oracle string
+	// Detail is a human-readable one-line description.
+	Detail string
+	// Sig is the triage signature: Kind plus oracle pair plus the panic
+	// site or diff shape. Episodes with the same Sig land in one bucket.
+	Sig string
+}
+
+// Class is the signature with the shape component dropped — the stable
+// key the minimizer preserves while shrinking.
+func (d Divergence) Class() string { return d.Kind + ":" + d.Oracle }
+
+// Episode is one fuzzing iteration: a program, its outcomes under every
+// oracle, and the divergences found.
+type Episode struct {
+	Program
+	Outcomes    []Outcome
+	Divergences []Divergence
+}
+
+// Clean reports whether the episode found nothing.
+func (e *Episode) Clean() bool { return len(e.Divergences) == 0 }
+
+// RunEpisode executes the program under the configured oracle matrix and
+// diffs every outcome against the first (reference) oracle.
+func RunEpisode(p Program, opts RunOpts) *Episode {
+	opts = opts.withDefaults()
+	ep := &Episode{Program: p}
+	for _, name := range opts.Oracles {
+		ep.Outcomes = append(ep.Outcomes, RunOracle(name, p, opts))
+	}
+	ep.Divergences = Compare(ep.Outcomes)
+	return ep
+}
+
+// Compare diffs outcomes[1:] against outcomes[0] and screens every
+// outcome for standalone crashes. Crash findings (panic/hang/leak)
+// suppress the behavioural diffs of the same oracle: a crashed run's
+// output is noise.
+func Compare(outcomes []Outcome) []Divergence {
+	if len(outcomes) == 0 {
+		return nil
+	}
+	var out []Divergence
+	crashed := map[string]bool{}
+	for _, o := range outcomes {
+		if o.Panic != "" {
+			out = append(out, Divergence{
+				Kind: "panic", Oracle: o.Oracle,
+				Detail: fmt.Sprintf("panic at %s: %s", o.PanicSite, firstLine(o.Panic)),
+				Sig:    "panic:" + o.Oracle + ":" + o.PanicSite,
+			})
+			crashed[o.Oracle] = true
+		}
+		if o.Hung {
+			out = append(out, Divergence{
+				Kind: "hang", Oracle: o.Oracle,
+				Detail: "exceeded episode watchdog",
+				Sig:    "hang:" + o.Oracle,
+			})
+			crashed[o.Oracle] = true
+		}
+		if o.Leaked > 0 {
+			out = append(out, Divergence{
+				Kind: "leak", Oracle: o.Oracle,
+				Detail: fmt.Sprintf("%d goroutines outlived the run", o.Leaked),
+				Sig:    "leak:" + o.Oracle,
+			})
+			crashed[o.Oracle] = true
+		}
+	}
+	ref := outcomes[0]
+	if crashed[ref.Oracle] {
+		return out
+	}
+	for _, o := range outcomes[1:] {
+		if crashed[o.Oracle] {
+			continue
+		}
+		pair := ref.Oracle + "↔" + o.Oracle
+		if o.Status != ref.Status {
+			out = append(out, Divergence{
+				Kind: "status", Oracle: o.Oracle,
+				Detail: fmt.Sprintf("status %d, reference %d", o.Status, ref.Status),
+				Sig:    fmt.Sprintf("status:%s:%d≠%d", pair, o.Status, ref.Status),
+			})
+		}
+		if o.Stdout != ref.Stdout {
+			out = append(out, Divergence{
+				Kind: "stdout", Oracle: o.Oracle,
+				Detail: diffDetail("stdout", ref.Stdout, o.Stdout),
+				Sig:    "stdout:" + pair + ":" + diffShape(ref.Stdout, o.Stdout),
+			})
+		}
+		if o.Stderr != ref.Stderr {
+			out = append(out, Divergence{
+				Kind: "stderr", Oracle: o.Oracle,
+				Detail: diffDetail("stderr", ref.Stderr, o.Stderr),
+				Sig:    "stderr:" + pair + ":" + diffShape(ref.Stderr, o.Stderr),
+			})
+		}
+		if o.FSDump != ref.FSDump {
+			out = append(out, Divergence{
+				Kind: "fs", Oracle: o.Oracle,
+				Detail: diffDetail("fs", ref.FSDump, o.FSDump),
+				Sig:    "fs:" + pair + ":" + diffShape(ref.FSDump, o.FSDump),
+			})
+		}
+		if (o.Err != "") != (ref.Err != "") {
+			out = append(out, Divergence{
+				Kind: "error", Oracle: o.Oracle,
+				Detail: fmt.Sprintf("error %q, reference %q", o.Err, ref.Err),
+				Sig:    "error:" + pair,
+			})
+		}
+	}
+	return out
+}
+
+// diffShape classifies how two streams differ without embedding their
+// content, so buckets stay stable across inputs: the index class of the
+// first differing line plus the length relation.
+func diffShape(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	i := 0
+	for i < len(wl) && i < len(gl) && wl[i] == gl[i] {
+		i++
+	}
+	var at string
+	switch {
+	case i == 0:
+		at = "@0"
+	case i < 10:
+		at = "@1-9"
+	default:
+		at = "@10+"
+	}
+	switch {
+	case len(got) < len(want):
+		return at + ":shorter"
+	case len(got) > len(want):
+		return at + ":longer"
+	default:
+		return at + ":samelen"
+	}
+}
+
+// diffDetail renders the first point of divergence for humans.
+func diffDetail(stream, want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	i := 0
+	for i < len(wl) && i < len(gl) && wl[i] == gl[i] {
+		i++
+	}
+	w, g := "<eof>", "<eof>"
+	if i < len(wl) {
+		w = wl[i]
+	}
+	if i < len(gl) {
+		g = gl[i]
+	}
+	return fmt.Sprintf("%s diverges at line %d: reference %.60q vs %.60q (%d vs %d bytes)",
+		stream, i+1, w, g, len(want), len(got))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package fuzz
+
+import (
+	"flag"
+	"testing"
+)
+
+var minSeed = flag.Uint64("fuzz.min", 0, "minimize every divergence of this seed")
+
+// TestExploreMinimize is a manual tool: go test -run TestExploreMinimize
+// -fuzz.min=<seed> shrinks each divergence class of that seed and prints
+// the minimal reproducers.
+func TestExploreMinimize(t *testing.T) {
+	if *minSeed == 0 {
+		t.Skip("set -fuzz.min=<seed> to minimize")
+	}
+	opts := RunOpts{}
+	ep := RunEpisode(Generate(DefaultConfig(*minSeed)), opts)
+	if ep.Clean() {
+		t.Fatalf("seed %d is clean", *minSeed)
+	}
+	done := map[string]bool{}
+	for _, d := range ep.Divergences {
+		if done[d.Class()] {
+			continue
+		}
+		done[d.Class()] = true
+		min := MinimizeDivergence(ep, d, opts, 600)
+		t.Logf("class %s (%s) shrank %d → %d nodes:\n%s",
+			d.Class(), d.Sig, CountNodes(ep.Script), CountNodes(min.Script), min.Source)
+	}
+}

@@ -1,0 +1,34 @@
+package fuzz
+
+import (
+	"flag"
+	"testing"
+)
+
+var (
+	exploreN    = flag.Int("fuzz.explore", 0, "run N exploratory differential episodes")
+	exploreFrom = flag.Uint64("fuzz.from", 1, "first seed for -fuzz.explore")
+)
+
+// TestExplore is a manual scanning harness: go test -run TestExplore
+// -fuzz.explore=500 prints the triage table for that seed window. It is a
+// no-op under normal `go test`.
+func TestExplore(t *testing.T) {
+	if *exploreN == 0 {
+		t.Skip("set -fuzz.explore=N to scan")
+	}
+	tr := NewTriage()
+	dirty := 0
+	for i := 0; i < *exploreN; i++ {
+		seed := *exploreFrom + uint64(i)
+		ep := RunEpisode(Generate(DefaultConfig(seed)), RunOpts{})
+		if !ep.Clean() {
+			dirty++
+			tr.Add(ep)
+		}
+	}
+	t.Logf("%d/%d episodes diverged, %d distinct signatures", dirty, *exploreN, tr.Len())
+	if tr.Len() > 0 {
+		t.Logf("triage:\n%s", tr.Report())
+	}
+}

@@ -1,0 +1,59 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+// Minimized reproducers of real divergences found (and fixed) by the
+// differential fuzzer. Each case once made an oracle disagree with the
+// tree-walk reference; they are pinned here so the bugs stay dead.
+//
+//	cat -n   was classified Stateless and data-parallelized, restarting
+//	         its line counter at every chunk boundary (seed 169).
+//	grep     with no pattern was parallelized: the merge relay reported
+//	         exit 0, flipping `&&` control flow, and every lane repeated
+//	         the diagnostic (seed 145).
+//	cut      with no -c/-f selector: same failure shape as bare grep —
+//	         masked status plus multiplied stderr — and the masked `&&`
+//	         let the sink's parent directory appear only under AOT
+//	         (seed 145, fs divergence).
+func TestRegressionMinimizedReproducers(t *testing.T) {
+	fixture := Generate(DefaultConfig(1)).Fixture
+	cases := []struct {
+		name, src string
+	}{
+		{"cat-n-stateful", "cut -d x -f 1 /data/nums.txt | cat -n\n"},
+		{"grep-no-pattern-status", "grep </data/nums.txt && cat /data/b.txt\n"},
+		{"cut-no-selector-fs", "grep </data/nums.txt && cut >>/tmp/out1.txt\n"},
+		{"grep-c-chunk-status", "grep -c socket </data/nums.txt && echo found\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ep := RunEpisode(Program{Source: tc.src, Fixture: fixture}, RunOpts{})
+			for _, d := range ep.Divergences {
+				t.Errorf("%s: %s (%s)", tc.name, d.Detail, d.Sig)
+			}
+		})
+	}
+}
+
+// The printer once rendered a background statement followed by another
+// statement as `a &; b`, which does not re-parse — every oracle saw a
+// parse error instead of the program. The generator's round-trip gate
+// caught it; pin the composite shape here end to end.
+func TestRegressionBackgroundSeparators(t *testing.T) {
+	fixture := Generate(DefaultConfig(1)).Fixture
+	src := "for v in a b; do cat /data/empty.txt & echo it: $v; done\n" +
+		"{ head -n 1 /data/a.txt & }\n" +
+		"if true; then tail -n 1 /data/b.txt & fi\n"
+	ep := RunEpisode(Program{Source: src, Fixture: fixture}, RunOpts{})
+	for _, o := range ep.Outcomes {
+		if strings.Contains(o.Err, "syntax error") {
+			t.Fatalf("%s: %s", o.Oracle, o.Err)
+		}
+	}
+	for _, d := range ep.Divergences {
+		t.Errorf("%s (%s)", d.Detail, d.Sig)
+	}
+}

@@ -1,0 +1,125 @@
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bucket collects every episode that produced one divergence signature,
+// keeping the smallest reproducer seen so far (and its minimized form
+// once the minimizer has run).
+type Bucket struct {
+	Sig   string
+	Kind  string
+	Count int
+	// Seeds lists up to 8 generator seeds that hit the bucket.
+	Seeds []uint64
+	// Repro is the smallest (by AST node count) reproducing source seen.
+	Repro      string
+	ReproNodes int
+	ReproSeed  uint64
+	// Minimized is the delta-debugged reproducer ("" until minimized).
+	Minimized      string
+	MinimizedNodes int
+	// Detail is the first divergence detail observed, for the report.
+	Detail string
+}
+
+// Triage buckets episodes by divergence signature.
+type Triage struct {
+	buckets map[string]*Bucket
+}
+
+// NewTriage returns an empty triage table.
+func NewTriage() *Triage { return &Triage{buckets: map[string]*Bucket{}} }
+
+// Add files every divergence of the episode into its bucket and returns
+// how many divergences were new signatures.
+func (t *Triage) Add(ep *Episode) int {
+	fresh := 0
+	nodes := CountNodes(ep.Script)
+	for _, d := range ep.Divergences {
+		b := t.buckets[d.Sig]
+		if b == nil {
+			b = &Bucket{Sig: d.Sig, Kind: d.Kind, Detail: d.Detail}
+			t.buckets[d.Sig] = b
+			fresh++
+		}
+		b.Count++
+		if len(b.Seeds) < 8 {
+			b.Seeds = append(b.Seeds, ep.Seed)
+		}
+		if b.Repro == "" || nodes < b.ReproNodes {
+			b.Repro = ep.Source
+			b.ReproNodes = nodes
+			b.ReproSeed = ep.Seed
+		}
+	}
+	return fresh
+}
+
+// Buckets returns the table sorted by severity (crashes first), then by
+// hit count.
+func (t *Triage) Buckets() []*Bucket {
+	out := make([]*Bucket, 0, len(t.buckets))
+	for _, b := range t.buckets {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := kindSeverity(out[i].Kind), kindSeverity(out[j].Kind)
+		if si != sj {
+			return si < sj
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Sig < out[j].Sig
+	})
+	return out
+}
+
+// Len returns the number of distinct signatures.
+func (t *Triage) Len() int { return len(t.buckets) }
+
+// Bucket returns the bucket for a signature, or nil.
+func (t *Triage) Bucket(sig string) *Bucket { return t.buckets[sig] }
+
+func kindSeverity(kind string) int {
+	switch kind {
+	case "panic":
+		return 0
+	case "hang":
+		return 1
+	case "leak":
+		return 2
+	case "fs":
+		return 3
+	case "stdout":
+		return 4
+	case "status":
+		return 5
+	case "stderr":
+		return 6
+	default:
+		return 7
+	}
+}
+
+// Report renders the triage table for humans.
+func (t *Triage) Report() string {
+	var b strings.Builder
+	for _, bk := range t.Buckets() {
+		fmt.Fprintf(&b, "[%s] ×%d  %s\n", bk.Kind, bk.Count, bk.Sig)
+		fmt.Fprintf(&b, "    %s\n", bk.Detail)
+		fmt.Fprintf(&b, "    seed %d (%d AST nodes)\n", bk.ReproSeed, bk.ReproNodes)
+		repro := bk.Minimized
+		if repro == "" {
+			repro = bk.Repro
+		}
+		for _, line := range strings.Split(strings.TrimRight(repro, "\n"), "\n") {
+			fmt.Fprintf(&b, "    | %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"jash/internal/coreutils"
+	"jash/internal/exec/faultinject"
 	"jash/internal/expand"
 	"jash/internal/pattern"
 	"jash/internal/syntax"
@@ -82,6 +83,14 @@ type Interp struct {
 	// so an external deadline bounds interpreted pipelines too, not just
 	// optimized plans.
 	Cancel <-chan struct{}
+
+	// Faults, when non-nil, arms seeded fault injection at the
+	// interpreter's own boundaries — command dispatch and redirection
+	// opens — extending the executor-focused chaos harness to the
+	// fallback path. Injected faults (including ModePanic ones, which are
+	// contained at the boundary) manifest as ordinary command failures:
+	// a diagnostic on stderr and a non-zero status, never a crash.
+	Faults *faultinject.Set
 
 	// NoCompile forces the tree-walking evaluation path, bypassing the
 	// closure-compilation cache. It exists for differential testing (the
@@ -265,6 +274,7 @@ func (in *Interp) expander() *expand.Expander {
 		NoGlob:   in.NoGlob,
 		NoUnset:  in.NoUnset,
 		CmdSubst: in.xCmdSubst,
+		Faults:   in.Faults,
 	}
 }
 
@@ -319,6 +329,7 @@ func (in *Interp) subshell() *Interp {
 		// over.
 		Traps: map[string]string{}, Umask: in.Umask,
 		Observer: in.Observer, Cancel: in.Cancel, Tracer: in.Tracer,
+		Faults: in.Faults,
 		// The cache pointer is copied as-is: in compiled mode it is always
 		// non-nil by the time a clone is made (stmt() forces it), and lazy
 		// creation here would race among pipeline-stage goroutines.
@@ -794,6 +805,15 @@ func (in *Interp) simpleCommand(c *syntax.SimpleCommand) {
 // the coreutils registry.
 func (in *Interp) dispatch(fields []string) {
 	name := fields[0]
+	// Chaos reaches the interpreter here: an injected dispatch fault makes
+	// the command fail like any runtime error would — diagnostic plus
+	// status 1 — so the soak can drive the fallback path's error handling
+	// without crashing the session.
+	if err := in.Faults.CheckContained("interp:dispatch:"+name, faultinject.OpRead); err != nil {
+		fmt.Fprintf(in.Stderr, "jash: %s: %v\n", name, err)
+		in.Status = 1
+		return
+	}
 	if fn, ok := builtins[name]; ok {
 		in.Status = fn(in, fields)
 		return
@@ -911,7 +931,10 @@ func (in *Interp) applyRedirs(redirs []*syntax.Redirect) (func(), bool) {
 				cleanup()
 				return nil, false
 			}
-			rc, err := in.FS.Open(in.lookPath(target))
+			var rc io.ReadCloser
+			if err = in.Faults.CheckContained("interp:redir:"+target, faultinject.OpOpen); err == nil {
+				rc, err = in.FS.Open(in.lookPath(target))
+			}
 			if err != nil {
 				fmt.Fprintf(in.Stderr, "jash: %s: %v\n", target, err)
 				cleanup()
@@ -927,10 +950,12 @@ func (in *Interp) applyRedirs(redirs []*syntax.Redirect) (func(), bool) {
 				return nil, false
 			}
 			var w io.WriteCloser
-			if r.Op == syntax.RedirAppend {
-				w, err = in.FS.Append(in.lookPath(target))
-			} else {
-				w, err = in.FS.Create(in.lookPath(target))
+			if err = in.Faults.CheckContained("interp:redir:"+target, faultinject.OpOpen); err == nil {
+				if r.Op == syntax.RedirAppend {
+					w, err = in.FS.Append(in.lookPath(target))
+				} else {
+					w, err = in.FS.Create(in.lookPath(target))
+				}
 			}
 			if err != nil {
 				fmt.Fprintf(in.Stderr, "jash: %s: %v\n", target, err)

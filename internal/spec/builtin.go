@@ -22,6 +22,7 @@ func builtinSpecs() []*Spec {
 			FlagDocs: map[string]string{
 				"-n": "number output lines",
 			},
+			refine: refineCat,
 		},
 		{
 			Name: "tr", Version: "1.0", Class: Stateless, Agg: AggConcat,
@@ -48,6 +49,7 @@ func builtinSpecs() []*Spec {
 			FlagDocs: map[string]string{
 				"-c": "select character positions", "-f": "select fields", "-d": "field delimiter",
 			},
+			refine: refineCut,
 		},
 		{
 			Name: "sort", Version: "1.0", Class: Parallelizable, Agg: AggMergeSort,
@@ -188,15 +190,61 @@ func builtinSpecs() []*Spec {
 	}
 }
 
+// refineCat: -n numbers lines with a single counter across the whole
+// input, so a chunked run restarts the count per chunk. Found by the
+// differential fuzzer (walk↔aot stdout divergence).
+func refineCat(e *Effective, args []string) {
+	for _, a := range args[1:] {
+		if !strings.HasPrefix(a, "-") || a == "-" || a == "--" {
+			break
+		}
+		if strings.ContainsRune(a[1:], 'n') {
+			e.Class = Blocking // global line numbers
+			e.Agg = AggNone
+			return
+		}
+	}
+}
+
+// refineCut: an invocation with neither -c nor -f is invalid (cut needs a
+// selection mode); like grep-without-pattern it must stay sequential so
+// the diagnostic appears once and the failure is not masked by the merge.
+func refineCut(e *Effective, args []string) {
+	rest := args[1:]
+	for i := 0; i < len(rest); i++ {
+		a := rest[i]
+		if !strings.HasPrefix(a, "-") || a == "-" || a == "--" {
+			break
+		}
+		if strings.ContainsAny(a[1:], "cf") {
+			return
+		}
+		if a == "-d" {
+			i++ // detached delimiter value; don't mistake it for an operand
+		}
+	}
+	e.Class = SideEffectful
+	e.Agg = AggNone
+}
+
 // refineGrep adjusts grep's classification for flags: -c becomes
 // Parallelizable with a sum aggregator; -q/-n need global context. It also
 // drops the pattern operand from the input-file list unless -e was used.
+// An invocation with no pattern at all is invalid and must not be
+// parallelized: the sequential run diagnoses it once, while N lanes would
+// each repeat the diagnostic and the merge would mask the failure. (Found
+// by the differential fuzzer.)
 func refineGrep(e *Effective, args []string) {
 	hasE := false
 	for _, a := range args[1:] {
 		if strings.HasPrefix(a, "-e") && len(a) >= 2 {
 			hasE = true
 		}
+	}
+	if !hasE && len(e.InputFiles) == 0 {
+		e.Class = SideEffectful // missing pattern: leave it to the interpreter
+		e.Agg = AggNone
+		return
 	}
 	if !hasE && len(e.InputFiles) > 0 {
 		e.InputFiles = e.InputFiles[1:]

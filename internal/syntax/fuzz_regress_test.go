@@ -1,0 +1,140 @@
+package syntax
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Regression tests for bugs found by FuzzParse (testdata/fuzz/FuzzParse
+// holds the raw failing inputs). Each case here is the minimized,
+// human-readable form of one finding.
+
+// Empty compound lists must be rejected, as in POSIX: `if then fi` used
+// to parse and then print as the unparseable `if ; then ; fi`.
+func TestParseRejectsEmptyCompoundLists(t *testing.T) {
+	for _, src := range []string{
+		"if then fi",
+		"if a; then fi",
+		"if a; then b; else fi",
+		"while do done",
+		"while a; do done",
+		"until a; do done",
+		"for v in a b; do done",
+		"{ }",
+		"( )",
+		"()",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want empty-list syntax error", src)
+		}
+	}
+}
+
+// Backquote substitutions print canonically as $(...); the cosmetic
+// Backquote flag must not break structural round-trip comparison.
+func TestBackquoteCanonicalizes(t *testing.T) {
+	s := mustParse(t, "echo `date` ``")
+	printed := Print(s)
+	if strings.Contains(printed, "`") {
+		t.Fatalf("printed form still contains backquotes: %q", printed)
+	}
+	again := mustParse(t, printed)
+	normalize(s)
+	normalize(again)
+	if !reflect.DeepEqual(s, again) {
+		t.Errorf("backquote round trip changed AST: %q", printed)
+	}
+}
+
+// A bare `$` that is not an expansion is stored escaped, so a literal
+// dollar can never fuse with a following part into `$$` or `$((`.
+func TestBareDollarRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"echo $``",
+		"echo $%",
+		"echo $",
+		"echo \"$\"",
+		"echo ${x:-$}",
+	} {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := Print(s)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Print(Parse(%q)) = %q does not re-parse: %v", src, printed, err)
+		}
+		normalize(s)
+		normalize(again)
+		if !reflect.DeepEqual(s, again) {
+			t.Errorf("round trip changed AST for %q (printed %q)", src, printed)
+		}
+	}
+}
+
+// A reserved word can be a command name when a redirection precedes it
+// (`<0 !`); the printer must keep a redirection in front so the printed
+// form does not re-lex the word as a keyword.
+func TestReservedWordAfterRedirectRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"<0 !",
+		"</dev/null if",
+		">out done x",
+	} {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		printed := Print(s)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Print(Parse(%q)) = %q does not re-parse: %v", src, printed, err)
+		}
+		normalize(s)
+		normalize(again)
+		if !reflect.DeepEqual(s, again) {
+			t.Errorf("round trip changed AST for %q (printed %q)", src, printed)
+		}
+	}
+}
+
+// Absurd IO numbers must be a parse error, not silent integer overflow.
+func TestHugeFDRejected(t *testing.T) {
+	if _, err := Parse("10000000000000000000<0"); err == nil {
+		t.Error("20-digit fd parsed without error")
+	}
+	if _, err := Parse("123456789>x"); err != nil {
+		t.Errorf("9-digit fd rejected: %v", err)
+	}
+}
+
+// A here-document whose body never appears (EOF before any newline) must
+// be an error, not a silently empty body that prints unparseably.
+func TestUnterminatedHeredocAtEOF(t *testing.T) {
+	for _, src := range []string{
+		"<<'\n'",
+		"cat <<EOF",
+		"cat <<EOF\nbody",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want unterminated-heredoc error", src)
+		}
+	}
+}
+
+// `$( (cmd))` needs the inner space: `$((` is arithmetic.
+func TestCmdSubstSubshellSpacing(t *testing.T) {
+	s := mustParse(t, "echo $( (0))")
+	printed := Print(s)
+	if strings.Contains(printed, "$((") {
+		t.Fatalf("printed form fuses into arithmetic: %q", printed)
+	}
+	again := mustParse(t, printed)
+	normalize(s)
+	normalize(again)
+	if !reflect.DeepEqual(s, again) {
+		t.Errorf("round trip changed AST (printed %q)", printed)
+	}
+}

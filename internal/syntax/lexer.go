@@ -67,7 +67,9 @@ func (p *parser) readWord() *Word {
 			part := p.readDollar(false)
 			if part == nil {
 				p.advance()
-				lit.WriteByte('$')
+				// Store the non-expansion dollar escaped so printing cannot
+				// fuse it with a following part into `$$` or `$(`.
+				lit.WriteString(`\$`)
 			} else {
 				flushLit()
 				w.Parts = append(w.Parts, part)
@@ -133,7 +135,9 @@ func (p *parser) readDblQuoted() *DblQuoted {
 			part := p.readDollar(true)
 			if part == nil {
 				p.advance()
-				lit.WriteByte('$')
+				// Store the non-expansion dollar escaped so printing cannot
+				// fuse it with a following part into `$$` or `$(`.
+				lit.WriteString(`\$`)
 			} else {
 				flushLit()
 				dq.Parts = append(dq.Parts, part)
@@ -430,7 +434,9 @@ func (p *parser) readBracedWord(open Pos) *Word {
 			part := p.readDollar(false)
 			if part == nil {
 				p.advance()
-				lit.WriteByte('$')
+				// Store the non-expansion dollar escaped so printing cannot
+				// fuse it with a following part into `$$` or `$(`.
+				lit.WriteString(`\$`)
 			} else {
 				flushLit()
 				w.Parts = append(w.Parts, part)

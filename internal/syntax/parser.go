@@ -186,6 +186,10 @@ func (p *parser) next() {
 	p.skipBlanksAndComments()
 	p.tokPos = p.here()
 	if p.pos >= len(p.src) {
+		if len(p.pendingHeredocs) > 0 {
+			r := p.pendingHeredocs[0]
+			p.errf(r.Position, "unterminated here-document %q", heredocDelimText(r.Target))
+		}
 		p.tok = token{kind: tEOF, io: -1, pos: p.tokPos}
 		return
 	}
@@ -242,6 +246,9 @@ func (p *parser) next() {
 			i++
 		}
 		if i < len(p.src) && (p.src[i] == '<' || p.src[i] == '>') {
+			if i-p.pos > 9 {
+				p.errf(p.tokPos, "file descriptor out of range")
+			}
 			n := 0
 			for p.pos < i {
 				n = n*10 + int(p.advance()-'0')
@@ -387,6 +394,17 @@ func (p *parser) stmtList(end tokKind, stopWords ...string) []*Stmt {
 		}
 		stmts = append(stmts, p.stmt())
 	}
+}
+
+// compoundList parses a statement list that the grammar requires to be
+// non-empty: if/while/for bodies and conditions, brace groups, subshells.
+// POSIX shells reject e.g. `if then fi` and `{ }`.
+func (p *parser) compoundList(what string, end tokKind, stopWords ...string) []*Stmt {
+	stmts := p.stmtList(end, stopWords...)
+	if len(stmts) == 0 {
+		p.errf(p.tok.pos, "empty %s: expected a command, found %s", what, p.describeTok())
+	}
+	return stmts
 }
 
 // stmt parses one and-or list with its trailing separator (if any).
@@ -688,7 +706,7 @@ func (p *parser) gatherHeredocs() {
 func (p *parser) subshell() Command {
 	pos := p.tok.pos
 	p.expect(tLParen)
-	body := p.stmtList(tRParen)
+	body := p.compoundList("subshell", tRParen)
 	p.expect(tRParen)
 	c := &Subshell{Body: body, Position: pos}
 	c.Redirections = p.trailingRedirs()
@@ -698,7 +716,7 @@ func (p *parser) subshell() Command {
 func (p *parser) braceGroup() Command {
 	pos := p.tok.pos
 	p.next() // consume "{"
-	body := p.stmtList(tEOF, "}")
+	body := p.compoundList("brace group", tEOF, "}")
 	p.expectWord("}")
 	c := &BraceGroup{Body: body, Position: pos}
 	c.Redirections = p.trailingRedirs()
@@ -727,9 +745,9 @@ func (p *parser) trailingRedirs() []*Redirect {
 func (p *parser) ifClause() Command {
 	pos := p.tok.pos
 	p.expectWord("if")
-	cond := p.stmtList(tEOF, "then")
+	cond := p.compoundList("if condition", tEOF, "then")
 	p.expectWord("then")
-	then := p.stmtList(tEOF, "elif", "else", "fi")
+	then := p.compoundList("then branch", tEOF, "elif", "else", "fi")
 	ic := &IfClause{Cond: cond, Then: then, Position: pos}
 	switch p.litTok() {
 	case "elif":
@@ -743,7 +761,7 @@ func (p *parser) ifClause() Command {
 		return ic
 	case "else":
 		p.next()
-		ic.Else = p.stmtList(tEOF, "fi")
+		ic.Else = p.compoundList("else branch", tEOF, "fi")
 	}
 	p.expectWord("fi")
 	ic.Redirections = p.trailingRedirs()
@@ -753,9 +771,9 @@ func (p *parser) ifClause() Command {
 func (p *parser) elifClause() Command {
 	pos := p.tok.pos
 	p.expectWord("elif")
-	cond := p.stmtList(tEOF, "then")
+	cond := p.compoundList("if condition", tEOF, "then")
 	p.expectWord("then")
-	then := p.stmtList(tEOF, "elif", "else", "fi")
+	then := p.compoundList("then branch", tEOF, "elif", "else", "fi")
 	ic := &IfClause{Cond: cond, Then: then, Position: pos}
 	switch p.litTok() {
 	case "elif":
@@ -767,7 +785,7 @@ func (p *parser) elifClause() Command {
 		return ic
 	case "else":
 		p.next()
-		ic.Else = p.stmtList(tEOF, "fi")
+		ic.Else = p.compoundList("else branch", tEOF, "fi")
 	}
 	p.expectWord("fi")
 	return ic
@@ -776,9 +794,9 @@ func (p *parser) elifClause() Command {
 func (p *parser) whileClause(until bool) Command {
 	pos := p.tok.pos
 	p.next() // while/until
-	cond := p.stmtList(tEOF, "do")
+	cond := p.compoundList("loop condition", tEOF, "do")
 	p.expectWord("do")
-	body := p.stmtList(tEOF, "done")
+	body := p.compoundList("loop body", tEOF, "done")
 	p.expectWord("done")
 	c := &WhileClause{Until: until, Cond: cond, Body: body, Position: pos}
 	c.Redirections = p.trailingRedirs()
@@ -808,7 +826,7 @@ func (p *parser) forClause() Command {
 	}
 	p.skipNewlines()
 	p.expectWord("do")
-	fc.Body = p.stmtList(tEOF, "done")
+	fc.Body = p.compoundList("loop body", tEOF, "done")
 	p.expectWord("done")
 	fc.Redirections = p.trailingRedirs()
 	return fc

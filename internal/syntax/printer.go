@@ -108,14 +108,37 @@ func (pr *printer) pipeline(pl *Pipeline) {
 }
 
 // stmtsInline renders a statement list separated by `;`, with the required
-// trailing separator context handled by callers.
+// trailing separator context handled by callers. A background statement's
+// `&` is itself a separator, so no `;` follows it — `a & b`, never `a &; b`.
 func (pr *printer) stmtsInline(stmts []*Stmt) {
 	for i, st := range stmts {
 		if i > 0 {
-			pr.b.WriteString("; ")
+			if stmts[i-1].Background {
+				pr.b.WriteByte(' ')
+			} else {
+				pr.b.WriteString("; ")
+			}
 		}
 		pr.stmt(st)
 	}
+}
+
+// endsBackground reports whether the list's final statement is backgrounded,
+// in which case closers must not add a `;` after the `&`.
+func endsBackground(stmts []*Stmt) bool {
+	return len(stmts) > 0 && stmts[len(stmts)-1].Background
+}
+
+// listClose writes the separator-plus-keyword that terminates an inline
+// statement list (`; done`, `; fi`, ...), dropping the `;` when the list
+// already ends with `&`.
+func (pr *printer) listClose(stmts []*Stmt, kw string) {
+	if endsBackground(stmts) {
+		pr.b.WriteByte(' ')
+	} else {
+		pr.b.WriteString("; ")
+	}
+	pr.b.WriteString(kw)
 }
 
 func (pr *printer) redirs(rs []*Redirect) {
@@ -165,6 +188,15 @@ func (pr *printer) command(c Command) {
 				pr.word(a.Value)
 			}
 		}
+		redirs := x.Redirections
+		if first && len(x.Args) > 0 && len(redirs) > 0 && reservedLeadWord(x.Args[0]) {
+			// A reserved word became a command name only because a
+			// redirection preceded it in the source; keep one in front so
+			// the printed form re-lexes the same way.
+			pr.redirect(redirs[0])
+			redirs = redirs[1:]
+			first = false
+		}
 		for _, w := range x.Args {
 			if !first {
 				pr.b.WriteByte(' ')
@@ -172,7 +204,7 @@ func (pr *printer) command(c Command) {
 			first = false
 			pr.word(w)
 		}
-		for _, r := range x.Redirections {
+		for _, r := range redirs {
 			if !first {
 				pr.b.WriteByte(' ')
 			}
@@ -187,7 +219,7 @@ func (pr *printer) command(c Command) {
 	case *BraceGroup:
 		pr.b.WriteString("{ ")
 		pr.stmtsInline(x.Body)
-		pr.b.WriteString("; }")
+		pr.listClose(x.Body, "}")
 		pr.redirs(x.Redirections)
 	case *IfClause:
 		pr.ifClause(x, false)
@@ -199,9 +231,9 @@ func (pr *printer) command(c Command) {
 			pr.b.WriteString("while ")
 		}
 		pr.stmtsInline(x.Cond)
-		pr.b.WriteString("; do ")
+		pr.listClose(x.Cond, "do ")
 		pr.stmtsInline(x.Body)
-		pr.b.WriteString("; done")
+		pr.listClose(x.Body, "done")
 		pr.redirs(x.Redirections)
 	case *ForClause:
 		pr.b.WriteString("for " + x.Name)
@@ -214,7 +246,7 @@ func (pr *printer) command(c Command) {
 		}
 		pr.b.WriteString("; do ")
 		pr.stmtsInline(x.Body)
-		pr.b.WriteString("; done")
+		pr.listClose(x.Body, "done")
 		pr.redirs(x.Redirections)
 	case *CaseClause:
 		pr.b.WriteString("case ")
@@ -247,18 +279,20 @@ func (pr *printer) ifClause(x *IfClause, asElif bool) {
 		pr.b.WriteString("if ")
 	}
 	pr.stmtsInline(x.Cond)
-	pr.b.WriteString("; then ")
+	pr.listClose(x.Cond, "then ")
 	pr.stmtsInline(x.Then)
 	if len(x.Else) > 0 {
 		if nested := elseAsElif(x.Else); nested != nil {
-			pr.b.WriteString("; ")
+			pr.listClose(x.Then, "")
 			pr.ifClause(nested, true)
 			return
 		}
-		pr.b.WriteString("; else ")
+		pr.listClose(x.Then, "else ")
 		pr.stmtsInline(x.Else)
+		pr.listClose(x.Else, "fi")
+		return
 	}
-	pr.b.WriteString("; fi")
+	pr.listClose(x.Then, "fi")
 }
 
 // elseAsElif returns the nested IfClause when the else branch is exactly the
@@ -280,6 +314,38 @@ func elseAsElif(stmts []*Stmt) *IfClause {
 		return nil
 	}
 	return ic
+}
+
+// startsWithSubshell reports whether the first printed byte of stmts
+// would be an opening parenthesis.
+func startsWithSubshell(stmts []*Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	pl := stmts[0].AndOr.First
+	if pl.Negated || len(pl.Cmds) == 0 {
+		return false
+	}
+	_, ok := pl.Cmds[0].(*Subshell)
+	return ok
+}
+
+// reservedLeadWord reports whether w, printed first in a command, would
+// re-lex as a reserved word or pipeline negation instead of a command name.
+func reservedLeadWord(w *Word) bool {
+	if len(w.Parts) != 1 {
+		return false
+	}
+	l, ok := w.Parts[0].(*Lit)
+	if !ok {
+		return false
+	}
+	switch l.Value {
+	case "if", "then", "else", "elif", "fi", "while", "until", "for",
+		"do", "done", "case", "esac", "in", "{", "}", "!":
+		return true
+	}
+	return false
 }
 
 func (pr *printer) word(w *Word) {
@@ -306,6 +372,10 @@ func (pr *printer) wordPart(part WordPart) {
 		pr.paramExp(x)
 	case *CmdSubst:
 		pr.b.WriteString("$(")
+		if startsWithSubshell(x.Stmts) {
+			// `$((` would re-lex as arithmetic expansion.
+			pr.b.WriteByte(' ')
+		}
 		pr.stmtsInline(x.Stmts)
 		pr.b.WriteByte(')')
 	case *ArithExp:

@@ -6,7 +6,8 @@ import (
 	"testing/quick"
 )
 
-// normalize strips positions so ASTs can be compared structurally.
+// normalize strips positions (and the cosmetic backquote flag, which the
+// printer canonicalizes to $(...)) so ASTs can be compared structurally.
 func normalize(n Node) {
 	Walk(n, func(x Node) bool {
 		switch v := x.(type) {
@@ -48,6 +49,7 @@ func normalize(n Node) {
 			v.Position = Pos{}
 		case *CmdSubst:
 			v.Position = Pos{}
+			v.Backquote = false
 		case *ArithExp:
 			v.Position = Pos{}
 		}
@@ -84,6 +86,15 @@ var roundTripCases = []string{
 	"echo a; echo b; echo c",
 	"X=$(date) Y=${Z:-$(fallback)} run",
 	"test \\( -f a -o -f b \\)",
+	// Background `&` is itself a statement separator: no `;` may follow it
+	// anywhere a list is rendered inline (once printed as `a &; b`).
+	"a & b",
+	"for v in x y; do slow & echo it: $v; done",
+	"{ spin & }",
+	"if true; then bg & fi",
+	"while work; do step & done",
+	"(first & second)",
+	"case $x in a) job & ;; esac",
 }
 
 func TestPrintRoundTrip(t *testing.T) {
